@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestParseThreads(t *testing.T) {
+	got, err := parseThreads("2, 4,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 2 || got[1] != 4 || got[2] != 8 {
+		t.Errorf("parseThreads = %v", got)
+	}
+	for _, bad := range []string{"", "x", "0", "-3", "2,,4"} {
+		if _, err := parseThreads(bad); err == nil {
+			t.Errorf("parseThreads(%q) accepted", bad)
+		}
+	}
+}

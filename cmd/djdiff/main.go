@@ -1,0 +1,49 @@
+// djdiff compares two saved DJVM log sets and reports where they depart:
+//
+//	djdiff <logdir-a> <logdir-b>
+//
+// Use it on two recordings of the same program to locate the first
+// scheduling or network difference — the root of a divergent outcome —
+// instead of eyeballing djtrace dumps. Exits 0 when identical, 1 when
+// different.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/logcheck"
+	"repro/internal/tracelog"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: djdiff <logdir-a> <logdir-b>")
+		os.Exit(2)
+	}
+	a, err := tracelog.LoadSet(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	b, err := tracelog.LoadSet(os.Args[2])
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := logcheck.Diff(a, b)
+	if err != nil {
+		fatal(err)
+	}
+	if rep.Same() {
+		fmt.Println("identical: the two log sets describe the same execution")
+		return
+	}
+	for _, line := range rep.Lines {
+		fmt.Println(line)
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "djdiff:", err)
+	os.Exit(1)
+}

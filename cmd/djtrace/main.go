@@ -1,0 +1,133 @@
+// djtrace inspects DJVM logs saved with Node.SaveLogs / tracelog.Set.Save:
+//
+//	djtrace <logdir>              # summary + full dump
+//	djtrace -summary <logdir>     # summary only
+//	djtrace -check <logdir>...    # validate log sets (cross-VM when several)
+//
+// It renders the schedule log (VM meta, logical schedule intervals, notify
+// payloads, checkpoints), the NetworkLogFile, and the RecordedDatagramLog in
+// human-readable form; -check runs the logcheck validator instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/logcheck"
+	"repro/internal/tracelog"
+)
+
+func main() {
+	summaryOnly := flag.Bool("summary", false, "print only per-log summaries")
+	check := flag.Bool("check", false, "validate the log set(s) instead of dumping")
+	flag.Parse()
+	if flag.NArg() < 1 || (!*check && flag.NArg() != 1) {
+		fmt.Fprintln(os.Stderr, "usage: djtrace [-summary] <logdir> | djtrace -check <logdir>...")
+		os.Exit(2)
+	}
+
+	if *check {
+		var sets []*tracelog.Set
+		for _, dir := range flag.Args() {
+			set, err := tracelog.LoadSet(dir)
+			if err != nil {
+				fatal(err)
+			}
+			sets = append(sets, set)
+		}
+		rep := logcheck.CheckWorld(sets)
+		if rep.OK() {
+			fmt.Printf("ok: %d log set(s) consistent\n", len(sets))
+			return
+		}
+		for _, f := range rep.Findings {
+			fmt.Println(f)
+		}
+		os.Exit(1)
+	}
+
+	set, err := tracelog.LoadSet(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	dump("schedule.log", set.Schedule, *summaryOnly)
+	dump("network.log", set.Network, *summaryOnly)
+	dump("datagram.log", set.Datagram, *summaryOnly)
+}
+
+func dump(name string, l *tracelog.Log, summaryOnly bool) {
+	entries, err := l.Entries()
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", name, err))
+	}
+	byKind := map[tracelog.Kind]int{}
+	for _, e := range entries {
+		byKind[e.Kind()]++
+	}
+	fmt.Printf("== %s: %d bytes, %d records ==\n", name, l.Size(), len(entries))
+	for k := tracelog.Kind(1); k < tracelog.Kind(32); k++ {
+		if n := byKind[k]; n > 0 {
+			fmt.Printf("   %-14v %6d\n", k, n)
+		}
+	}
+	if summaryOnly {
+		fmt.Println()
+		return
+	}
+	for i, e := range entries {
+		fmt.Printf("  %6d  %s\n", i, render(e))
+	}
+	fmt.Println()
+}
+
+func render(e tracelog.Entry) string {
+	switch v := e.(type) {
+	case *tracelog.VMMeta:
+		return fmt.Sprintf("vm-meta       vm=%d world=%v threads=%d finalGC=%d",
+			v.VM, v.World, v.Threads, v.FinalGC)
+	case *tracelog.Interval:
+		return fmt.Sprintf("interval      thread=%d [%d,%d] (%d events)",
+			v.Thread, v.First, v.Last, uint64(v.Last-v.First)+1)
+	case *tracelog.Notify:
+		return fmt.Sprintf("notify        gc=%d woken=%v", v.GC, v.Woken)
+	case *tracelog.CheckpointEntry:
+		return fmt.Sprintf("checkpoint    gc=%d nextThread=%d taker=%d state=%dB",
+			v.GC, v.NextThread, v.TakerThread, len(v.State))
+	case *tracelog.TimedWaitEntry:
+		return fmt.Sprintf("timed-wait    gc=%d check=%v timedOut=%v", v.GC, v.Check, v.TimedOut)
+	case *tracelog.ServerSocketEntry:
+		return fmt.Sprintf("server-socket serverId=%v clientId=%v", v.ServerID, v.ClientID)
+	case *tracelog.ReadEntry:
+		return fmt.Sprintf("read          %v n=%d eof=%v", v.EventID, v.N, v.EOF)
+	case *tracelog.AvailableEntry:
+		return fmt.Sprintf("available     %v n=%d", v.EventID, v.N)
+	case *tracelog.BindEntry:
+		return fmt.Sprintf("bind          %v port=%d", v.EventID, v.Port)
+	case *tracelog.NetErrEntry:
+		return fmt.Sprintf("net-err       %v op=%s msg=%q", v.EventID, v.Op, v.Msg)
+	case *tracelog.DatagramRecvEntry:
+		return fmt.Sprintf("datagram-recv %v recvGC=%d datagram=%v", v.EventID, v.ReceiverGC, v.Datagram)
+	case *tracelog.OpenConnectEntry:
+		return fmt.Sprintf("open-connect  %v local=:%d remote=%s:%d",
+			v.EventID, v.LocalPort, v.RemoteHost, v.RemotePort)
+	case *tracelog.OpenAcceptEntry:
+		return fmt.Sprintf("open-accept   %v remote=%s:%d", v.EventID, v.RemoteHost, v.RemotePort)
+	case *tracelog.OpenReadEntry:
+		return fmt.Sprintf("open-read     %v %dB eof=%v", v.EventID, len(v.Data), v.EOF)
+	case *tracelog.OpenWriteEntry:
+		return fmt.Sprintf("open-write    %v len=%d sum=%016x", v.EventID, v.Len, v.Sum)
+	case *tracelog.OpenDatagramEntry:
+		return fmt.Sprintf("open-datagram %v src=%s:%d %dB",
+			v.EventID, v.SourceHost, v.SourcePort, len(v.Data))
+	case *tracelog.EnvEntry:
+		return fmt.Sprintf("env           %v op=%s value=%d", v.EventID, v.Op, v.Value)
+	default:
+		return fmt.Sprintf("%v", e.Kind())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "djtrace:", err)
+	os.Exit(1)
+}

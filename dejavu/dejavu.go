@@ -1,0 +1,319 @@
+// Package dejavu is the public API of this repository: a Go implementation
+// of DJVM — the distributed DejaVu system of "Deterministic Replay of
+// Distributed Java Applications" (Konuru, Srinivasan, Choi; IPPS 2000).
+//
+// A dejavu.Node is one DJVM instance: a runtime that can Record an execution
+// of a multithreaded, distributed application — capturing its logical thread
+// schedule and network interactions — and later Replay it deterministically,
+// reproducing every shared-variable interleaving, monitor handoff,
+// connection pairing, partial read, and datagram delivery.
+//
+// Application code runs on Node threads and uses the node's primitives for
+// everything nondeterministic:
+//
+//   - Shared variables (SharedInt, SharedVar) — shared-memory critical events;
+//   - Monitors (Enter/Exit/Wait/Notify) — synchronization critical events;
+//   - Stream sockets (Listen/Connect, Socket) — the TCP network events of §4.1;
+//   - Datagram sockets (BindDatagram, DatagramSocket) — the UDP/multicast
+//     events of §4.2.
+//
+// Deployment worlds (§1, §5): in a ClosedWorld every component runs on a
+// Node and replay re-executes network exchanges cooperatively; in an
+// OpenWorld only this component does, and all its inbound traffic is recorded
+// in full so replay needs no network at all; a MixedWorld blends the two
+// per peer.
+//
+// Minimal record/replay round trip:
+//
+//	net := dejavu.NewNetwork(dejavu.NetworkConfig{})
+//	rec, _ := dejavu.NewNode(dejavu.Config{ID: 1, Mode: dejavu.Record, Network: net, Host: "a"})
+//	rec.Start(app)
+//	rec.Wait()
+//	rec.Close()
+//
+//	rep, _ := dejavu.NewNode(dejavu.Config{ID: 1, Mode: dejavu.Replay, Network: dejavu.NewNetwork(dejavu.NetworkConfig{}),
+//		Host: "a", ReplayLogs: rec.Logs()})
+//	rep.Start(app) // identical execution
+//	rep.Wait()
+package dejavu
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/djenv"
+	"repro/internal/djgram"
+	"repro/internal/djrpc"
+	"repro/internal/djsock"
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/tracelog"
+)
+
+// Re-exported identity and configuration types.
+type (
+	// DJVMID is the unique identity of one DJVM instance.
+	DJVMID = ids.DJVMID
+	// ThreadNum is a thread's creation-order number within its node.
+	ThreadNum = ids.ThreadNum
+	// Mode selects record, replay, or passthrough execution.
+	Mode = ids.Mode
+	// World selects the closed/open/mixed-world network scheme.
+	World = ids.World
+
+	// Thread is one application thread of a node.
+	Thread = core.Thread
+	// Monitor provides Java-monitor mutual exclusion and wait/notify.
+	Monitor = core.Monitor
+	// Barrier is a replayable cyclic barrier.
+	Barrier = core.Barrier
+	// SharedInt is a shared integer whose accesses are critical events.
+	SharedInt = core.SharedInt
+	// SharedVar is a shared variable of any type whose accesses are critical
+	// events.
+	SharedVar[T any] = core.SharedVar[T]
+	// ResumePoint identifies where a checkpoint-resumed replay picks up.
+	ResumePoint = core.ResumePoint
+	// Stats aggregates a node's event counters.
+	Stats = core.Stats
+	// DivergenceError is thrown when a replayed execution departs from the
+	// recorded one.
+	DivergenceError = core.DivergenceError
+
+	// Addr is a simulated network endpoint.
+	Addr = netsim.Addr
+	// Chaos configures the simulated network's nondeterminism.
+	Chaos = netsim.Chaos
+	// NetworkConfig configures a simulated network.
+	NetworkConfig = netsim.Config
+	// Network is an in-memory network shared by a set of nodes.
+	Network = netsim.Network
+
+	// ServerSocket listens for stream connections (java.net.ServerSocket).
+	ServerSocket = djsock.ServerSocket
+	// Socket is a connected stream socket (java.net.Socket).
+	Socket = djsock.Socket
+	// DatagramSocket is a UDP/multicast socket (java.net.DatagramSocket).
+	DatagramSocket = djgram.DatagramSocket
+	// EnvSource serves recorded/replayed environmental values (clock,
+	// randomness) — the djenv extension.
+	EnvSource = djenv.Source
+
+	// RPCServer dispatches replayable remote calls (the djrpc layer).
+	RPCServer = djrpc.Server
+	// RPCClient issues replayable remote calls.
+	RPCClient = djrpc.Client
+	// RPCHandler processes one remote call on a server worker thread.
+	RPCHandler = djrpc.Handler
+	// RemoteError is an application-level RPC error.
+	RemoteError = djrpc.RemoteError
+
+	// Logs is the per-node set of record-phase logs.
+	Logs = tracelog.Set
+	// CheckpointSnapshot is one recorded checkpoint.
+	CheckpointSnapshot = checkpoint.Snapshot
+)
+
+// Execution modes.
+const (
+	// Record captures the logical thread schedule and network interactions
+	// while the application runs.
+	Record = ids.Record
+	// Replay reproduces a recorded execution by enforcing the recorded
+	// schedule and network interactions.
+	Replay = ids.Replay
+	// Passthrough runs with no recording or enforcement — the plain-JVM
+	// baseline used for overhead measurements.
+	Passthrough = ids.Passthrough
+)
+
+// World configurations.
+const (
+	// ClosedWorld: every component of the application runs on a DJVM node.
+	ClosedWorld = ids.ClosedWorld
+	// OpenWorld: only this component runs on a DJVM node.
+	OpenWorld = ids.OpenWorld
+	// MixedWorld: the peers listed in Config.DJVMPeers run DJVM nodes,
+	// others do not.
+	MixedWorld = ids.MixedWorld
+)
+
+// NewNetwork creates a simulated network for a set of nodes.
+func NewNetwork(cfg NetworkConfig) *Network { return netsim.NewNetwork(cfg) }
+
+// NewMonitor creates an unlocked monitor.
+func NewMonitor() *Monitor { return core.NewMonitor() }
+
+// NewBarrier creates a cyclic barrier for the given number of parties.
+func NewBarrier(parties int) *Barrier { return core.NewBarrier(parties) }
+
+// Config configures one node.
+type Config struct {
+	// ID is the node's DJVM identity; a replay node must reuse the identity
+	// recorded by its record-phase counterpart.
+	ID DJVMID
+	// Mode selects Record, Replay, or Passthrough.
+	Mode Mode
+	// World selects ClosedWorld, OpenWorld, or MixedWorld.
+	World World
+	// DJVMPeers lists, for MixedWorld, the simulated hosts that run DJVM
+	// nodes.
+	DJVMPeers []string
+	// Network is the simulated network the node attaches to.
+	Network *Network
+	// Host is the node's simulated host name.
+	Host string
+	// ReplayLogs supplies the record-phase logs in Replay mode.
+	ReplayLogs *Logs
+	// Resume, optionally, starts replay from a checkpoint.
+	Resume *ResumePoint
+	// RecordJitter, when > 0, yields the processor with probability
+	// 1/RecordJitter after record-mode critical events, emulating preemptive
+	// timeslicing so schedule nondeterminism manifests even on a single
+	// CPU. Replay ignores it.
+	RecordJitter int
+	// StallTimeout, when > 0, arms the replay stall watchdog: threads parked
+	// on schedule turns that stop progressing panic with a DivergenceError
+	// instead of deadlocking silently.
+	StallTimeout time.Duration
+	// EventObserver, when non-nil, is called inside every critical event
+	// with the executing thread and counter value — the debugger hook.
+	EventObserver func(thread ThreadNum, gc GCount)
+}
+
+// GCount is a global-counter (logical clock) value.
+type GCount = ids.GCount
+
+// Node is one DJVM instance bound to a simulated host.
+type Node struct {
+	vm   *core.VM
+	sock *djsock.Env
+	gram *djgram.Env
+	env  *djenv.Source
+}
+
+// NewNode creates a node.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("dejavu: config needs a Network")
+	}
+	if cfg.Host == "" {
+		return nil, fmt.Errorf("dejavu: config needs a Host")
+	}
+	peers := make(map[string]bool, len(cfg.DJVMPeers))
+	for _, p := range cfg.DJVMPeers {
+		peers[p] = true
+	}
+	vm, err := core.NewVM(core.Config{
+		ID:            cfg.ID,
+		Mode:          cfg.Mode,
+		World:         cfg.World,
+		DJVMPeers:     peers,
+		ReplayLogs:    cfg.ReplayLogs,
+		Resume:        cfg.Resume,
+		RecordJitter:  cfg.RecordJitter,
+		StallTimeout:  cfg.StallTimeout,
+		EventObserver: cfg.EventObserver,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Node{
+		vm:   vm,
+		sock: djsock.NewEnv(vm, cfg.Network, cfg.Host),
+		gram: djgram.NewEnv(vm, cfg.Network, cfg.Host),
+		env:  djenv.New(vm),
+	}, nil
+}
+
+// Start launches the node's initial thread running fn.
+func (n *Node) Start(fn func(t *Thread)) { n.vm.Start(fn) }
+
+// Wait blocks until every thread of the node has returned.
+func (n *Node) Wait() { n.vm.Wait() }
+
+// Close finalizes the node; in record mode it completes the logs.
+func (n *Node) Close() { n.vm.Close() }
+
+// Logs returns the record-phase logs (nil unless recording).
+func (n *Node) Logs() *Logs { return n.vm.Logs() }
+
+// Stats returns a snapshot of the node's event counters.
+func (n *Node) Stats() Stats { return n.vm.Stats() }
+
+// Mode reports the node's execution mode.
+func (n *Node) Mode() Mode { return n.vm.Mode() }
+
+// ID reports the node's DJVM identity.
+func (n *Node) ID() DJVMID { return n.vm.ID() }
+
+// Host reports the node's simulated host name.
+func (n *Node) Host() string { return n.sock.Host() }
+
+// Listen creates a stream server socket on the node's host; port 0 picks an
+// ephemeral port whose identity is recorded and replayed.
+func (n *Node) Listen(t *Thread, port uint16) (*ServerSocket, error) {
+	return n.sock.Listen(t, port)
+}
+
+// Connect establishes a stream connection to addr.
+func (n *Node) Connect(t *Thread, addr Addr) (*Socket, error) {
+	return n.sock.Connect(t, addr)
+}
+
+// BindDatagram creates a datagram socket bound to port on the node's host.
+func (n *Node) BindDatagram(t *Thread, port uint16) (*DatagramSocket, error) {
+	return n.gram.Bind(t, port)
+}
+
+// Env returns the node's environmental-value source: deterministic
+// replayable clock reads and random draws.
+func (n *Node) Env() *EnvSource { return n.env }
+
+// NewRPCServer creates an RPC server accepting connections through this
+// node.
+func (n *Node) NewRPCServer() *RPCServer { return djrpc.NewServer(n.sock) }
+
+// NewRPCClient creates an RPC client calling the server at addr through
+// this node.
+func (n *Node) NewRPCClient(addr Addr) *RPCClient { return djrpc.NewClient(n.sock, addr) }
+
+// SaveLogs persists the node's record-phase logs under dir.
+func (n *Node) SaveLogs(dir string) error {
+	logs := n.vm.Logs()
+	if logs == nil {
+		return fmt.Errorf("dejavu: node %d has no logs (mode %v)", n.ID(), n.Mode())
+	}
+	return logs.Save(dir)
+}
+
+// LoadLogs reads logs previously persisted with SaveLogs.
+func LoadLogs(dir string) (*Logs, error) { return tracelog.LoadSet(dir) }
+
+// CheckpointTake records a checkpoint as one critical event of t, capturing
+// the state returned by save (record mode; consumes its schedule slot during
+// replay; no-op in passthrough). See internal/checkpoint for the quiescence
+// requirements.
+func CheckpointTake(t *Thread, save func() []byte) { checkpoint.Take(t, save) }
+
+// CheckpointLatest returns the most recent checkpoint in a log set.
+func CheckpointLatest(logs *Logs) (*CheckpointSnapshot, error) {
+	return checkpoint.Latest(logs)
+}
+
+// Checkpoints returns every checkpoint in a log set, in counter order.
+func Checkpoints(logs *Logs) ([]*CheckpointSnapshot, error) {
+	return checkpoint.List(logs)
+}
+
+// FinalCounter reports the global counter value a recorded log set reached —
+// the total number of critical events of the run.
+func FinalCounter(logs *Logs) (uint64, error) {
+	idx, err := tracelog.BuildScheduleIndex(logs.Schedule)
+	if err != nil {
+		return 0, err
+	}
+	return uint64(idx.Meta.FinalGC), nil
+}

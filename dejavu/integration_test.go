@@ -1,0 +1,256 @@
+package dejavu_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/dejavu"
+)
+
+// TestFullSystemIntegration drives every subsystem in one distributed
+// application — threads, shared variables, monitors, deterministic sleep,
+// environmental values, stream sockets, RPC, datagrams, multicast, and a
+// checkpoint — across three nodes, then replays the whole world and demands
+// identical observable results.
+func TestFullSystemIntegration(t *testing.T) {
+	type result struct {
+		RPCBalance uint64
+		Transcript string
+		Datagrams  string
+		EnvParity  int64
+	}
+
+	run := func(mode dejavu.Mode, logs [3]*dejavu.Logs) (result, [3]*dejavu.Logs) {
+		net := dejavu.NewNetwork(dejavu.NetworkConfig{
+			Chaos: dejavu.Chaos{
+				ConnectDelayMax: time.Millisecond,
+				DeliverDelayMax: 200 * time.Microsecond,
+				MaxSegment:      9,
+				LossRate:        0.1,
+				DupRate:         0.1,
+				RandomEphemeral: true,
+			},
+			Seed: time.Now().UnixNano(),
+		})
+		mk := func(id dejavu.DJVMID, host string, l *dejavu.Logs) *dejavu.Node {
+			node, err := dejavu.NewNode(dejavu.Config{
+				ID: id, Mode: mode, World: dejavu.ClosedWorld,
+				Network: net, Host: host, ReplayLogs: l, RecordJitter: 5,
+				StallTimeout: 20 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return node
+		}
+		hub := mk(1, "hub", logs[0])
+		alpha := mk(2, "alpha", logs[1])
+		beta := mk(3, "beta", logs[2])
+
+		var res result
+
+		// Hub: an RPC ledger with racy handler state, a stream transcript
+		// collector, and a datagram sink; takes a checkpoint at the end.
+		var balance dejavu.SharedInt
+		srv := hub.NewRPCServer()
+		srv.Handle("add", func(th *dejavu.Thread, body []byte) ([]byte, error) {
+			v := balance.Get(th)
+			balance.Set(th, v+int64(body[0]))
+			out := make([]byte, 8)
+			binary.BigEndian.PutUint64(out, uint64(v+int64(body[0])))
+			return out, nil
+		})
+
+		ports := make(chan uint16, 2)
+		hub.Start(func(main *dejavu.Thread) {
+			rpcSS, err := hub.Listen(main, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			streamSS, err := hub.Listen(main, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			dg, err := hub.BindDatagram(main, 6100)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ports <- rpcSS.Port()
+			ports <- streamSS.Port()
+
+			mon := dejavu.NewMonitor()
+			var transcript dejavu.SharedVar[string]
+			done := make(chan struct{}, 4)
+
+			// Two RPC worker threads: 8 calls total.
+			for w := 0; w < 2; w++ {
+				main.Spawn(func(th *dejavu.Thread) {
+					defer func() { done <- struct{}{} }()
+					if err := srv.Serve(th, rpcSS, 4); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+			// One stream collector thread: 2 connections.
+			main.Spawn(func(th *dejavu.Thread) {
+				defer func() { done <- struct{}{} }()
+				for i := 0; i < 2; i++ {
+					conn, err := streamSS.Accept(th)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					line := make([]byte, 6)
+					if err := conn.ReadFull(th, line); err != nil {
+						t.Error(err)
+						return
+					}
+					mon.Enter(th)
+					transcript.Update(th, func(s string) string { return s + string(line) + ";" })
+					mon.Notify(th)
+					mon.Exit(th)
+					conn.Close(th)
+				}
+			})
+			// One datagram sink thread: 6 deliveries.
+			main.Spawn(func(th *dejavu.Thread) {
+				defer func() { done <- struct{}{} }()
+				for i := 0; i < 6; i++ {
+					data, src, err := dg.Receive(th)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					mon.Enter(th)
+					transcript.Update(th, func(s string) string {
+						return s + fmt.Sprintf("[%s@%s]", data, src.Host)
+					})
+					mon.Exit(th)
+				}
+			})
+			for i := 0; i < 4; i++ {
+				<-done
+			}
+			res.RPCBalance = uint64(balance.Get(main))
+			res.Transcript = transcript.Get(main)
+			dejavu.CheckpointTake(main, func() []byte {
+				return []byte(res.Transcript)
+			})
+			dg.Close(main)
+			rpcSS.Close(main)
+			streamSS.Close(main)
+		})
+		rpcPort, streamPort := <-ports, <-ports
+
+		// Alpha: RPC calls + a stream line + datagrams, with env values and
+		// a deterministic sleep.
+		alpha.Start(func(main *dejavu.Thread) {
+			cl := alpha.NewRPCClient(dejavu.Addr{Host: "hub", Port: rpcPort})
+			done := make(chan struct{}, 2)
+			for w := 0; w < 2; w++ {
+				w := w
+				main.Spawn(func(th *dejavu.Thread) {
+					defer func() { done <- struct{}{} }()
+					for k := 0; k < 2; k++ {
+						if _, err := cl.Call(th, "add", []byte{byte(w + k + 1)}); err != nil {
+							t.Error(err)
+						}
+					}
+				})
+			}
+			<-done
+			<-done
+			res.EnvParity = alpha.Env().Now(main)%2 + int64(alpha.Env().Intn(main, 100))
+			main.Sleep(2 * time.Millisecond)
+			conn, err := alpha.Connect(main, dejavu.Addr{Host: "hub", Port: streamPort})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			conn.Write(main, []byte("alpha1"))
+			conn.Close(main)
+			dg, err := alpha.BindDatagram(main, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 8; i++ { // overprovision against loss
+				dg.SendTo(main, dejavu.Addr{Host: "hub", Port: 6100}, fmt.Appendf(nil, "a%d", i))
+			}
+			dg.Close(main)
+		})
+
+		// Beta: RPC calls + a stream line + datagrams.
+		beta.Start(func(main *dejavu.Thread) {
+			cl := beta.NewRPCClient(dejavu.Addr{Host: "hub", Port: rpcPort})
+			for k := 0; k < 4; k++ {
+				if _, err := cl.Call(main, "add", []byte{byte(10 + k)}); err != nil {
+					t.Error(err)
+				}
+			}
+			conn, err := beta.Connect(main, dejavu.Addr{Host: "hub", Port: streamPort})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			conn.Write(main, []byte("beta_1"))
+			conn.Close(main)
+			dg, err := beta.BindDatagram(main, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 8; i++ {
+				dg.SendTo(main, dejavu.Addr{Host: "hub", Port: 6100}, fmt.Appendf(nil, "b%d", i))
+			}
+			dg.Close(main)
+		})
+
+		finish := make(chan struct{})
+		go func() {
+			hub.Wait()
+			alpha.Wait()
+			beta.Wait()
+			close(finish)
+		}()
+		select {
+		case <-finish:
+		case <-time.After(60 * time.Second):
+			t.Fatalf("integration app deadlocked in %v mode", mode)
+		}
+		hub.Close()
+		alpha.Close()
+		beta.Close()
+
+		var out [3]*dejavu.Logs
+		if mode == dejavu.Record {
+			out = [3]*dejavu.Logs{hub.Logs(), alpha.Logs(), beta.Logs()}
+		}
+		return res, out
+	}
+
+	recRes, logs := run(dejavu.Record, [3]*dejavu.Logs{})
+	if recRes.RPCBalance == 0 || recRes.Transcript == "" {
+		t.Fatalf("record produced empty results: %+v", recRes)
+	}
+	// The checkpoint captured the transcript.
+	snap, err := dejavu.CheckpointLatest(logs[0])
+	if err != nil {
+		t.Fatalf("CheckpointLatest: %v", err)
+	}
+	if string(snap.Data) != recRes.Transcript {
+		t.Errorf("checkpoint captured %q, transcript %q", snap.Data, recRes.Transcript)
+	}
+
+	for i := 0; i < 2; i++ {
+		repRes, _ := run(dejavu.Replay, logs)
+		if repRes != recRes {
+			t.Fatalf("replay %d results differ:\nrecord: %+v\nreplay: %+v", i+1, recRes, repRes)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package dejavu_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/dejavu"
+)
+
+// distShape is a randomly generated distributed program: a server with some
+// acceptor threads and a client with some connector threads, each connector
+// sending a random message schedule, plus shared-variable races on both
+// sides. The shape is derived deterministically from a seed, so record and
+// replay execute the same program.
+type distShape struct {
+	acceptors  int
+	connectors int
+	connsPer   int
+	msgs       [][]int // msgs[conn index] = message lengths for that conn
+}
+
+func distShapeFromSeed(seed int64) distShape {
+	rng := rand.New(rand.NewSource(seed))
+	s := distShape{
+		acceptors:  1 + rng.Intn(3),
+		connectors: 1 + rng.Intn(3),
+		connsPer:   1 + rng.Intn(3),
+	}
+	total := s.connectors * s.connsPer
+	// Acceptor count must divide the total connection count evenly for a
+	// deterministic accept distribution.
+	for total%s.acceptors != 0 {
+		s.acceptors--
+	}
+	s.msgs = make([][]int, total)
+	for i := range s.msgs {
+		n := 1 + rng.Intn(3)
+		for j := 0; j < n; j++ {
+			s.msgs[i] = append(s.msgs[i], 1+rng.Intn(40))
+		}
+	}
+	return s
+}
+
+// runDistShape executes the program and returns an outcome digest combining
+// the server's per-thread byte folds and both sides' racy counters.
+func runDistShape(t *testing.T, s distShape, mode dejavu.Mode, seed int64,
+	serverLogs, clientLogs *dejavu.Logs) (string, *dejavu.Node, *dejavu.Node) {
+	t.Helper()
+	net := dejavu.NewNetwork(dejavu.NetworkConfig{
+		Chaos: dejavu.Chaos{
+			ConnectDelayMax: 500 * time.Microsecond,
+			DeliverDelayMax: 100 * time.Microsecond,
+			MaxSegment:      11,
+			RandomEphemeral: true,
+		},
+		Seed: seed,
+	})
+	mk := func(id dejavu.DJVMID, host string, l *dejavu.Logs) *dejavu.Node {
+		node, err := dejavu.NewNode(dejavu.Config{
+			ID: id, Mode: mode, World: dejavu.ClosedWorld,
+			Network: net, Host: host, ReplayLogs: l, RecordJitter: 5,
+			StallTimeout: 20 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return node
+	}
+	server := mk(1, "psrv", serverLogs)
+	client := mk(2, "pcli", clientLogs)
+
+	total := s.connectors * s.connsPer
+	perAcceptor := total / s.acceptors
+
+	var srvCounter dejavu.SharedInt
+	folds := make([]uint64, s.acceptors)
+	ready := make(chan uint16, 1)
+	server.Start(func(main *dejavu.Thread) {
+		ss, err := server.Listen(main, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ready <- ss.Port()
+		done := make(chan struct{}, s.acceptors)
+		for a := 0; a < s.acceptors; a++ {
+			a := a
+			main.Spawn(func(th *dejavu.Thread) {
+				defer func() { done <- struct{}{} }()
+				h := fnv.New64a()
+				for c := 0; c < perAcceptor; c++ {
+					conn, err := ss.Accept(th)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					buf := make([]byte, 64)
+					for {
+						n, rerr := conn.Read(th, buf)
+						if rerr != nil {
+							break // EOF ends the connection's stream
+						}
+						h.Write(buf[:n])
+						v := srvCounter.Get(th)
+						srvCounter.Set(th, v+int64(n))
+					}
+					conn.Close(th)
+				}
+				folds[a] = h.Sum64()
+			})
+		}
+		for a := 0; a < s.acceptors; a++ {
+			<-done
+		}
+	})
+	port := <-ready
+
+	var cliCounter dejavu.SharedInt
+	client.Start(func(main *dejavu.Thread) {
+		done := make(chan struct{}, s.connectors)
+		for c := 0; c < s.connectors; c++ {
+			c := c
+			main.Spawn(func(th *dejavu.Thread) {
+				defer func() { done <- struct{}{} }()
+				for k := 0; k < s.connsPer; k++ {
+					connIdx := c*s.connsPer + k
+					conn, err := client.Connect(th, dejavu.Addr{Host: "psrv", Port: port})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for mi, msgLen := range s.msgs[connIdx] {
+						payload := make([]byte, msgLen)
+						for b := range payload {
+							payload[b] = byte(connIdx*31 + mi*7 + b)
+						}
+						if _, err := conn.Write(th, payload); err != nil {
+							t.Error(err)
+							return
+						}
+						v := cliCounter.Get(th)
+						cliCounter.Set(th, v+1)
+					}
+					conn.Close(th)
+				}
+			})
+		}
+		for c := 0; c < s.connectors; c++ {
+			<-done
+		}
+	})
+
+	finish := make(chan struct{})
+	go func() {
+		server.Wait()
+		client.Wait()
+		close(finish)
+	}()
+	select {
+	case <-finish:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("random distributed program deadlocked in %v mode (shape %+v)", mode, s)
+	}
+	server.Close()
+	client.Close()
+
+	digest := fmt.Sprintf("srv=%d cli=%d folds=%v",
+		srvCounter.Load(), cliCounter.Load(), folds)
+	return digest, server, client
+}
+
+// TestRandomDistributedProgramsReplayIdentically is the distributed analog
+// of the core package's central property test: arbitrary client/server
+// programs, under chaotic networking, replay to identical outcomes.
+func TestRandomDistributedProgramsReplayIdentically(t *testing.T) {
+	f := func(seed int64) bool {
+		s := distShapeFromSeed(seed)
+		recDigest, recS, recC := runDistShape(t, s, dejavu.Record, seed, nil, nil)
+		repDigest, _, _ := runDistShape(t, s, dejavu.Replay, seed+991, recS.Logs(), recC.Logs())
+		if recDigest != repDigest {
+			t.Logf("seed %d shape %+v:\nrecord: %s\nreplay: %s", seed, s, recDigest, repDigest)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go implementation of DJVM — the
+// distributed DejaVu deterministic record/replay system of "Deterministic
+// Replay of Distributed Java Applications" (Konuru, Srinivasan, Choi;
+// IPPS 2000).
+//
+// The public API lives in the dejavu subpackage; see README.md for the
+// architecture overview, DESIGN.md for the system inventory and experiment
+// index, and EXPERIMENTS.md for paper-vs-measured results. The root package
+// holds only the repository-level benchmark harness (bench_test.go), which
+// regenerates every table of the paper's evaluation section via `go test
+// -bench`.
+package repro

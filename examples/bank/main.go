@@ -1,0 +1,145 @@
+// Bank: deterministic replay of an RPC application with a race *between*
+// calls.
+//
+// Three teller threads on a client node issue deposit and audit calls to a
+// bank server whose handler performs a non-atomic read-modify-write of the
+// shared balance. Under concurrent calls the audits observe different
+// intermediate balances — and with an unlucky interleaving, deposits are
+// lost. Each free execution prints a different audit trail; record/replay
+// reproduces one exactly, down to every intermediate balance.
+//
+// The RPC layer (dejavu.RPCServer/RPCClient) adds no recording of its own:
+// its determinism is inherited from the replayed socket events underneath —
+// the composition property that made DJVM useful below RMI.
+//
+// Run with: go run ./examples/bank
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/dejavu"
+)
+
+const (
+	tellers           = 3
+	depositsPerTeller = 5
+)
+
+// runBank executes the system in the given mode and returns the audit trail
+// (per-teller observed balances) plus the final balance.
+func runBank(mode dejavu.Mode, logs [2]*dejavu.Logs) ([2]*dejavu.Logs, [tellers]string, int64) {
+	net := dejavu.NewNetwork(dejavu.NetworkConfig{
+		Chaos: dejavu.Chaos{ConnectDelayMax: time.Millisecond, RandomEphemeral: true},
+		Seed:  time.Now().UnixNano(),
+	})
+	mk := func(id dejavu.DJVMID, host string, l *dejavu.Logs) *dejavu.Node {
+		node, err := dejavu.NewNode(dejavu.Config{
+			ID: id, Mode: mode, World: dejavu.ClosedWorld,
+			Network: net, Host: host, ReplayLogs: l, RecordJitter: 4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return node
+	}
+	server := mk(1, "bank", logs[0])
+	client := mk(2, "branch", logs[1])
+
+	var balance dejavu.SharedInt
+	srv := server.NewRPCServer()
+	srv.Handle("deposit", func(t *dejavu.Thread, body []byte) ([]byte, error) {
+		amount := int64(binary.BigEndian.Uint32(body))
+		v := balance.Get(t) // racy: read ...
+		balance.Set(t, v+amount)
+		// ... then write; concurrent deposits can lose updates.
+		out := make([]byte, 8)
+		binary.BigEndian.PutUint64(out, uint64(v+amount))
+		return out, nil
+	})
+
+	var finalBalance int64
+	ready := make(chan uint16, 1)
+	server.Start(func(main *dejavu.Thread) {
+		ss, err := server.Listen(main, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ready <- ss.Port()
+		const totalCalls = tellers * depositsPerTeller
+		done := make(chan struct{}, tellers)
+		for w := 0; w < tellers; w++ {
+			main.Spawn(func(t *dejavu.Thread) {
+				defer func() { done <- struct{}{} }()
+				if err := srv.Serve(t, ss, totalCalls/tellers); err != nil {
+					log.Fatal(err)
+				}
+			})
+		}
+		for w := 0; w < tellers; w++ {
+			<-done
+		}
+		finalBalance = balance.Get(main)
+	})
+	port := <-ready
+
+	var audits [tellers]string
+	client.Start(func(main *dejavu.Thread) {
+		done := make(chan struct{}, tellers)
+		for c := 0; c < tellers; c++ {
+			c := c
+			main.Spawn(func(t *dejavu.Thread) {
+				defer func() { done <- struct{}{} }()
+				cl := client.NewRPCClient(dejavu.Addr{Host: "bank", Port: port})
+				for k := 0; k < depositsPerTeller; k++ {
+					body := make([]byte, 4)
+					binary.BigEndian.PutUint32(body, 100)
+					out, err := cl.Call(t, "deposit", body)
+					if err != nil {
+						log.Fatal(err)
+					}
+					audits[c] += fmt.Sprintf("%d ", binary.BigEndian.Uint64(out))
+				}
+			})
+		}
+		for c := 0; c < tellers; c++ {
+			<-done
+		}
+	})
+
+	server.Wait()
+	client.Wait()
+	server.Close()
+	client.Close()
+	var out [2]*dejavu.Logs
+	if mode == dejavu.Record {
+		out = [2]*dejavu.Logs{server.Logs(), client.Logs()}
+	}
+	return out, audits, finalBalance
+}
+
+func main() {
+	expected := int64(tellers * depositsPerTeller * 100)
+	fmt.Printf("== Free runs: %d deposits of 100 — races lose updates differently ==\n",
+		tellers*depositsPerTeller)
+	for i := 0; i < 3; i++ {
+		_, audits, final := runBank(dejavu.Passthrough, [2]*dejavu.Logs{})
+		fmt.Printf("  run %d: final=%d (expected %d)  teller0 saw: %s\n", i+1, final, expected, audits[0])
+	}
+
+	fmt.Println("\n== Record ==")
+	logs, recAudits, recFinal := runBank(dejavu.Record, [2]*dejavu.Logs{})
+	fmt.Printf("  final=%d  teller0 saw: %s\n", recFinal, recAudits[0])
+
+	fmt.Println("\n== Replay ==")
+	_, repAudits, repFinal := runBank(dejavu.Replay, logs)
+	same := repFinal == recFinal && repAudits == recAudits
+	fmt.Printf("  final=%d  teller0 saw: %s — identical: %v\n", repFinal, repAudits[0], same)
+	if !same {
+		log.Fatal("replay diverged")
+	}
+	fmt.Println("\nDeterministic RPC replay verified: every intermediate balance reproduced.")
+}

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+)
+
+// smallParams is a scaled-down workload for fast functional tests.
+func smallParams(threads int) Params {
+	p := ClosedParams(threads)
+	p.BaseSharedIters = 2000
+	p.PerThreadSharedIters = 100
+	p.Sessions = 2
+	p.ConnectsPerSession = 2
+	return p
+}
+
+func TestClosedWorldRecordReplayOutcomesMatch(t *testing.T) {
+	for _, threads := range []int{2, 4} {
+		p := smallParams(threads)
+		rec, err := RunClosed(p, ids.Record, nil, nil)
+		if err != nil {
+			t.Fatalf("record: %v", err)
+		}
+		rep, err := RunClosed(p, ids.Replay, rec.ServerLogs, rec.ClientLogs)
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		if rec.Server.Outcome != rep.Server.Outcome {
+			t.Errorf("threads=%d server outcome: record %v, replay %v",
+				threads, rec.Server.Outcome, rep.Server.Outcome)
+		}
+		if rec.Client.Outcome != rep.Client.Outcome {
+			t.Errorf("threads=%d client outcome: record %v, replay %v",
+				threads, rec.Client.Outcome, rep.Client.Outcome)
+		}
+		if rec.Server.CriticalEvents != rep.Server.CriticalEvents {
+			t.Errorf("threads=%d server critical events: record %d, replay %d",
+				threads, rec.Server.CriticalEvents, rep.Server.CriticalEvents)
+		}
+	}
+}
+
+func TestOpenWorldRecordReplayOutcomesMatch(t *testing.T) {
+	p := smallParams(2)
+	for _, djvmServer := range []bool{true, false} {
+		rec, err := RunOpen(p, djvmServer, ids.Record, nil)
+		if err != nil {
+			t.Fatalf("record(server=%v): %v", djvmServer, err)
+		}
+		logs := rec.ServerLogs
+		if !djvmServer {
+			logs = rec.ClientLogs
+		}
+		rep, err := RunOpen(p, djvmServer, ids.Replay, logs)
+		if err != nil {
+			t.Fatalf("replay(server=%v): %v", djvmServer, err)
+		}
+		if djvmServer && rec.Server.Outcome != rep.Server.Outcome {
+			t.Errorf("open server outcome: record %v, replay %v", rec.Server.Outcome, rep.Server.Outcome)
+		}
+		if !djvmServer && rec.Client.Outcome != rep.Client.Outcome {
+			t.Errorf("open client outcome: record %v, replay %v", rec.Client.Outcome, rep.Client.Outcome)
+		}
+	}
+}
+
+func TestNetworkEventCountsMatchAcrossWorlds(t *testing.T) {
+	// §6: "the identification of a network critical event is independent of
+	// the recording methodology" — the #nw events column is identical for
+	// closed and open world at equal thread counts.
+	p := smallParams(2)
+	closed, err := RunClosed(p, ids.Record, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	openS, err := RunOpen(p, true, ids.Record, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	openC, err := RunOpen(p, false, ids.Record, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed.Server.NetworkEvents != openS.Server.NetworkEvents {
+		t.Errorf("server nw events: closed %d, open %d",
+			closed.Server.NetworkEvents, openS.Server.NetworkEvents)
+	}
+	if closed.Client.NetworkEvents != openC.Client.NetworkEvents {
+		t.Errorf("client nw events: closed %d, open %d",
+			closed.Client.NetworkEvents, openC.Client.NetworkEvents)
+	}
+}
+
+func TestOpenWorldLogLargerThanClosed(t *testing.T) {
+	// §6: open-world logs contain message contents, closed-world logs only
+	// counters — for identical traffic the open log must be larger.
+	p := smallParams(2)
+	closed, err := RunClosed(p, ids.Record, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open, err := RunOpen(p, false, ids.Record, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open.Client.LogBytes <= closed.Client.LogBytes {
+		t.Errorf("open client log %dB not larger than closed %dB",
+			open.Client.LogBytes, closed.Client.LogBytes)
+	}
+}
+
+func TestOpenWorldLogGrowsWithMessageSize(t *testing.T) {
+	// §6: "increasing the size of messages sent to the client would not
+	// change the size of the closed-world log but would cause a consequent
+	// increase in the open-world log."
+	small := smallParams(2)
+	big := smallParams(2)
+	big.MsgBytes = small.MsgBytes * 8
+
+	openSmall, err := RunOpen(small, false, ids.Record, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	openBig, err := RunOpen(big, false, ids.Record, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if openBig.Client.LogBytes <= openSmall.Client.LogBytes {
+		t.Errorf("open log did not grow with message size: %dB -> %dB",
+			openSmall.Client.LogBytes, openBig.Client.LogBytes)
+	}
+
+	closedSmall, err := RunClosed(small, ids.Record, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closedBig, err := RunClosed(big, ids.Record, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closed-world logs hold counters, not contents; allow small variation
+	// from differing interval counts.
+	ratio := float64(closedBig.Client.LogBytes) / float64(closedSmall.Client.LogBytes)
+	if ratio > 2 {
+		t.Errorf("closed log grew %.1fx with message size; should be roughly flat", ratio)
+	}
+}
+
+func TestFreeRunsDiffer(t *testing.T) {
+	// §6: "repeated executions of the benchmark invariably complete with
+	// different results computed by each thread."
+	p := smallParams(4)
+	outcomes := map[Outcome]bool{}
+	for i := 0; i < 6; i++ {
+		res, err := RunBaseline(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outcomes[res.Client.Outcome] = true
+		if len(outcomes) >= 2 {
+			return
+		}
+	}
+	t.Error("six free runs produced identical client outcomes; benchmark not racy")
+}
+
+func TestVerifyReplay(t *testing.T) {
+	closedOK, openOK, detail, err := VerifyReplay(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !closedOK || !openOK {
+		t.Errorf("verify failed (closed=%v open=%v):\n%s", closedOK, openOK, detail)
+	}
+}

@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// Row is one line of a Table 1 / Table 2 style table.
+type Row struct {
+	Threads        int
+	CriticalEvents uint64
+	NetworkEvents  uint64
+	LogBytes       int
+	RecOvhdPct     float64
+}
+
+// Table is one of the paper's result tables (e.g. "Table 1(a) Server").
+type Table struct {
+	Name string
+	Rows []Row
+}
+
+// Print renders the table in the paper's column layout.
+func (t Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Name)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "#threads\t#critical events\t#nw events\tlog size(bytes)\trec ovhd(%)\t")
+	for _, r := range t.Rows {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.2f\t\n",
+			r.Threads, r.CriticalEvents, r.NetworkEvents, r.LogBytes, r.RecOvhdPct)
+	}
+	tw.Flush()
+}
+
+// DefaultThreadCounts is the paper's thread-count sweep.
+var DefaultThreadCounts = []int{2, 4, 8, 16, 32}
+
+// measure runs fn once as warm-up, then reps timed times, and returns the
+// minimum duration — the standard low-noise estimator for wall-time
+// comparisons.
+func measure(reps int, fn func() (RunResult, error)) (RunResult, time.Duration, error) {
+	if _, err := fn(); err != nil { // warm-up: heap growth, scheduler state
+		return RunResult{}, 0, err
+	}
+	var best RunResult
+	min := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		res, err := fn()
+		if err != nil {
+			return RunResult{}, 0, err
+		}
+		if min == 0 || res.Duration < min {
+			min = res.Duration
+		}
+		best = res
+	}
+	return best, min, nil
+}
+
+// ovhd computes the percentage increase of rec over base.
+func ovhd(base, rec time.Duration) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (float64(rec) - float64(base)) / float64(base) * 100
+}
+
+// GenerateTable1 regenerates the paper's Table 1 (closed world): server (a)
+// and client (b) statistics for each thread count. reps controls timing
+// repetitions (minimum is reported).
+func GenerateTable1(threadCounts []int, reps int, progress func(string)) (server, client Table, err error) {
+	server.Name = "Table 1(a). Closed-world results: Server"
+	client.Name = "Table 1(b). Closed-world results: Client"
+	for _, n := range threadCounts {
+		p := ClosedParams(n)
+		if progress != nil {
+			progress(fmt.Sprintf("closed world, %d threads: baseline", n))
+		}
+		_, baseDur, err := measure(reps, func() (RunResult, error) { return RunBaseline(p) })
+		if err != nil {
+			return server, client, err
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("closed world, %d threads: record", n))
+		}
+		rec, recDur, err := measure(reps, func() (RunResult, error) {
+			return RunClosed(p, ids.Record, nil, nil)
+		})
+		if err != nil {
+			return server, client, err
+		}
+		pct := ovhd(baseDur, recDur)
+		server.Rows = append(server.Rows, Row{
+			Threads:        n,
+			CriticalEvents: rec.Server.CriticalEvents,
+			NetworkEvents:  rec.Server.NetworkEvents,
+			LogBytes:       rec.Server.LogBytes,
+			RecOvhdPct:     pct,
+		})
+		client.Rows = append(client.Rows, Row{
+			Threads:        n,
+			CriticalEvents: rec.Client.CriticalEvents,
+			NetworkEvents:  rec.Client.NetworkEvents,
+			LogBytes:       rec.Client.LogBytes,
+			RecOvhdPct:     pct,
+		})
+	}
+	return server, client, nil
+}
+
+// GenerateTable2 regenerates the paper's Table 2 (open world): each
+// component is measured in the run where it is the sole DJVM.
+func GenerateTable2(threadCounts []int, reps int, progress func(string)) (server, client Table, err error) {
+	server.Name = "Table 2(a). Open-world results: Server"
+	client.Name = "Table 2(b). Open-world results: Client"
+	for _, n := range threadCounts {
+		p := OpenParams(n)
+		if progress != nil {
+			progress(fmt.Sprintf("open world, %d threads: baseline", n))
+		}
+		_, baseDur, err := measure(reps, func() (RunResult, error) { return RunBaseline(p) })
+		if err != nil {
+			return server, client, err
+		}
+
+		if progress != nil {
+			progress(fmt.Sprintf("open world, %d threads: record (DJVM server)", n))
+		}
+		recS, durS, err := measure(reps, func() (RunResult, error) {
+			return RunOpen(p, true, ids.Record, nil)
+		})
+		if err != nil {
+			return server, client, err
+		}
+		server.Rows = append(server.Rows, Row{
+			Threads:        n,
+			CriticalEvents: recS.Server.CriticalEvents,
+			NetworkEvents:  recS.Server.NetworkEvents,
+			LogBytes:       recS.Server.LogBytes,
+			RecOvhdPct:     ovhd(baseDur, durS),
+		})
+
+		if progress != nil {
+			progress(fmt.Sprintf("open world, %d threads: record (DJVM client)", n))
+		}
+		recC, durC, err := measure(reps, func() (RunResult, error) {
+			return RunOpen(p, false, ids.Record, nil)
+		})
+		if err != nil {
+			return server, client, err
+		}
+		client.Rows = append(client.Rows, Row{
+			Threads:        n,
+			CriticalEvents: recC.Client.CriticalEvents,
+			NetworkEvents:  recC.Client.NetworkEvents,
+			LogBytes:       recC.Client.LogBytes,
+			RecOvhdPct:     ovhd(baseDur, durC),
+		})
+	}
+	return server, client, nil
+}
+
+// LogSizeRow is one point of the message-size sweep.
+type LogSizeRow struct {
+	MsgBytes      int
+	ClosedLogSize int
+	OpenLogSize   int
+}
+
+// GenerateLogSizeSweep measures, at a fixed thread count, how the client's
+// log size responds to message size in each world — the §6 observation that
+// "increasing the size of messages sent to the client would not change the
+// size of the closed-world log but would cause a consequent increase in the
+// open-world log".
+func GenerateLogSizeSweep(threads int, msgSizes []int) ([]LogSizeRow, error) {
+	var rows []LogSizeRow
+	for _, sz := range msgSizes {
+		p := OpenParams(threads)
+		p.MsgBytes = sz
+		open, err := RunOpen(p, false, ids.Record, nil)
+		if err != nil {
+			return nil, fmt.Errorf("open sweep msg=%d: %w", sz, err)
+		}
+		pc := ClosedParams(threads)
+		pc.BaseSharedIters = p.BaseSharedIters // equal event load isolates the content term
+		pc.PerThreadSharedIters = p.PerThreadSharedIters
+		pc.MsgBytes = sz
+		closed, err := RunClosed(pc, ids.Record, nil, nil)
+		if err != nil {
+			return nil, fmt.Errorf("closed sweep msg=%d: %w", sz, err)
+		}
+		rows = append(rows, LogSizeRow{
+			MsgBytes:      sz,
+			ClosedLogSize: closed.Client.LogBytes,
+			OpenLogSize:   open.Client.LogBytes,
+		})
+	}
+	return rows, nil
+}
+
+// VerifyReplay records one closed-world run and one open-world run at the
+// given thread count, replays each, and reports whether every component's
+// observable outcome matched — the paper's "perfect replay is observed"
+// check (§6).
+func VerifyReplay(threads int) (closedOK, openOK bool, detail string, err error) {
+	p := ClosedParams(threads)
+	rec, err := RunClosed(p, ids.Record, nil, nil)
+	if err != nil {
+		return false, false, "", fmt.Errorf("closed record: %w", err)
+	}
+	rep, err := RunClosed(p, ids.Replay, rec.ServerLogs, rec.ClientLogs)
+	if err != nil {
+		return false, false, "", fmt.Errorf("closed replay: %w", err)
+	}
+	closedOK = rec.Server.Outcome == rep.Server.Outcome && rec.Client.Outcome == rep.Client.Outcome
+	detail = fmt.Sprintf("closed: record server{%v} client{%v} / replay server{%v} client{%v}",
+		rec.Server.Outcome, rec.Client.Outcome, rep.Server.Outcome, rep.Client.Outcome)
+
+	po := OpenParams(threads)
+	recO, err := RunOpen(po, true, ids.Record, nil)
+	if err != nil {
+		return closedOK, false, detail, fmt.Errorf("open record: %w", err)
+	}
+	repO, err := RunOpen(po, true, ids.Replay, recO.ServerLogs)
+	if err != nil {
+		return closedOK, false, detail, fmt.Errorf("open replay: %w", err)
+	}
+	openOK = recO.Server.Outcome == repO.Server.Outcome
+	detail += fmt.Sprintf("\nopen:   record server{%v} / replay server{%v}",
+		recO.Server.Outcome, repO.Server.Outcome)
+	return closedOK, openOK, detail, nil
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGenerateTable1SmallSweep(t *testing.T) {
+	var progress []string
+	srv, cli, err := GenerateTable1([]int{2}, 1, func(m string) { progress = append(progress, m) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srv.Rows) != 1 || len(cli.Rows) != 1 {
+		t.Fatalf("rows: server %d, client %d", len(srv.Rows), len(cli.Rows))
+	}
+	s, c := srv.Rows[0], cli.Rows[0]
+	if s.Threads != 2 || c.Threads != 2 {
+		t.Error("thread column wrong")
+	}
+	if s.CriticalEvents < 400000 || s.CriticalEvents > 600000 {
+		t.Errorf("server critical events %d outside the calibrated band", s.CriticalEvents)
+	}
+	if s.NetworkEvents == 0 || c.NetworkEvents == 0 {
+		t.Error("nw events column empty")
+	}
+	if s.LogBytes == 0 || c.LogBytes == 0 {
+		t.Error("log size column empty")
+	}
+	if len(progress) == 0 {
+		t.Error("no progress reported")
+	}
+
+	var buf bytes.Buffer
+	srv.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "#critical events") || !strings.Contains(out, "rec ovhd(%)") {
+		t.Errorf("printed table missing headers:\n%s", out)
+	}
+}
+
+func TestGenerateTable2SmallSweep(t *testing.T) {
+	srv, cli, err := GenerateTable2([]int{2}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srv.Rows) != 1 || len(cli.Rows) != 1 {
+		t.Fatalf("rows: server %d, client %d", len(srv.Rows), len(cli.Rows))
+	}
+	// Open-world critical events are far below closed-world (different
+	// workload calibration, §6).
+	if srv.Rows[0].CriticalEvents > 100000 {
+		t.Errorf("open-world server critical events %d unexpectedly high", srv.Rows[0].CriticalEvents)
+	}
+	// Open-world logs carry contents: a few hundred bytes at minimum.
+	if srv.Rows[0].LogBytes < 200 {
+		t.Errorf("open-world server log only %d bytes", srv.Rows[0].LogBytes)
+	}
+}
+
+func TestGenerateLogSizeSweepShape(t *testing.T) {
+	rows, err := GenerateLogSizeSweep(2, []int{64, 1024, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	// Open-world log grows with message size; closed-world log stays within
+	// a small factor.
+	if rows[2].OpenLogSize <= rows[0].OpenLogSize*4 {
+		t.Errorf("open log grew only %d -> %d across a 64x message-size increase",
+			rows[0].OpenLogSize, rows[2].OpenLogSize)
+	}
+	ratio := float64(rows[2].ClosedLogSize) / float64(rows[0].ClosedLogSize)
+	if ratio > 3 {
+		t.Errorf("closed log grew %.1fx with message size; should be roughly flat", ratio)
+	}
+	for _, r := range rows {
+		if r.OpenLogSize < r.MsgBytes {
+			t.Errorf("open log (%dB) cannot hold even one %dB message", r.OpenLogSize, r.MsgBytes)
+		}
+	}
+}
+
+func TestParamsConnectionDivisibility(t *testing.T) {
+	for _, n := range DefaultThreadCounts {
+		p := ClosedParams(n)
+		if p.totalConnections()%p.Threads != 0 {
+			t.Errorf("ClosedParams(%d): %d connections do not divide evenly", n, p.totalConnections())
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/tracelog"
+)
+
+// Monitor is the DJVM's equivalent of a Java object monitor: it provides
+// mutual exclusion (synchronized blocks) and the wait/notify condition
+// protocol. Monitor operations are synchronization critical events (§2.1):
+//
+//   - Enter is a blocking event, executed outside the GC-critical section
+//     and marked on completion (monitorenter, §2.2);
+//   - Exit is a non-blocking critical event;
+//   - Wait splits into two critical events — releasing the monitor and
+//     entering the wait set, then (after being notified) re-acquiring the
+//     monitor — with the actual blocking in between, outside any critical
+//     section;
+//   - Notify/NotifyAll are non-blocking critical events; in record mode the
+//     identity of the woken threads is logged so replay wakes exactly the
+//     same threads.
+//
+// The same state machine serves all three modes; Critical/Blocking supply
+// the per-mode counter discipline.
+type Monitor struct {
+	lk      chan struct{} // 1-buffered: the internal state lock
+	held    bool
+	holder  ids.ThreadNum
+	queue   []*parked // threads blocked in Enter, FIFO
+	waiters []*parked // the wait set, FIFO
+}
+
+// parked is one thread blocked on the monitor, woken by closing ch.
+type parked struct {
+	t  ids.ThreadNum
+	ch chan struct{}
+}
+
+// MonitorStateError is thrown (via panic) on misuse, mirroring Java's
+// IllegalMonitorStateException.
+type MonitorStateError struct {
+	Op     string
+	Thread ids.ThreadNum
+}
+
+func (e *MonitorStateError) Error() string {
+	return fmt.Sprintf("core: %s by thread %d not owning the monitor", e.Op, e.Thread)
+}
+
+// NewMonitor creates an unlocked monitor.
+func NewMonitor() *Monitor {
+	m := &Monitor{lk: make(chan struct{}, 1)}
+	m.lk <- struct{}{}
+	return m
+}
+
+func (m *Monitor) lock()   { <-m.lk }
+func (m *Monitor) unlock() { m.lk <- struct{}{} }
+
+// Enter acquires the monitor (monitorenter).
+func (m *Monitor) Enter(t *Thread) {
+	t.Blocking(func() { m.acquire(t.num) }, func(ids.GCount) {})
+}
+
+// acquire blocks until the monitor is free and takes it. FIFO handoff keeps
+// record-phase acquisition order a pure race between the queue arrivals —
+// which is itself scheduler-dependent, i.e. genuinely nondeterministic.
+func (m *Monitor) acquire(tn ids.ThreadNum) {
+	m.lock()
+	if !m.held {
+		m.held = true
+		m.holder = tn
+		m.unlock()
+		return
+	}
+	p := &parked{t: tn, ch: make(chan struct{})}
+	m.queue = append(m.queue, p)
+	m.unlock()
+	<-p.ch
+	// The releaser handed the monitor to us directly.
+}
+
+// Exit releases the monitor (monitorexit).
+func (m *Monitor) Exit(t *Thread) {
+	t.Critical(func(ids.GCount) { m.release(t, "monitorexit") })
+}
+
+// release hands the monitor to the next queued enterer, or frees it.
+func (m *Monitor) release(t *Thread, op string) {
+	m.lock()
+	if !m.held || m.holder != t.num {
+		m.unlock()
+		panic(&MonitorStateError{Op: op, Thread: t.num})
+	}
+	if len(m.queue) > 0 {
+		next := m.queue[0]
+		m.queue = m.queue[1:]
+		m.holder = next.t
+		close(next.ch)
+	} else {
+		m.held = false
+	}
+	m.unlock()
+}
+
+// Holder reports whether the monitor is held and by which thread.
+func (m *Monitor) Holder() (ids.ThreadNum, bool) {
+	m.lock()
+	defer m.unlock()
+	return m.holder, m.held
+}
+
+// Wait releases the monitor, blocks until another thread notifies this one,
+// and re-acquires the monitor before returning — Object.wait semantics
+// (minus timeouts and spurious wakeups).
+func (m *Monitor) Wait(t *Thread) {
+	var p *parked
+	// First critical event: move self to the wait set and release the
+	// monitor, atomically with the counter tick.
+	t.Critical(func(ids.GCount) {
+		m.lock()
+		if !m.held || m.holder != t.num {
+			m.unlock()
+			panic(&MonitorStateError{Op: "wait", Thread: t.num})
+		}
+		p = &parked{t: t.num, ch: make(chan struct{})}
+		m.waiters = append(m.waiters, p)
+		m.unlock()
+		m.release(t, "wait")
+	})
+	// Block outside any critical section until a notify picks us.
+	<-p.ch
+	// Second critical event: re-acquire the monitor. Counter assigned at
+	// completion in record mode, so replay finds the monitor free at this
+	// event's turn.
+	t.Blocking(func() { m.acquire(t.num) }, func(ids.GCount) {})
+}
+
+// TimedWait is Object.wait(timeout): it releases the monitor and blocks
+// until notified or until d elapses, then re-acquires the monitor and
+// reports whether it timed out.
+//
+// The race between the timer and a concurrent notify is itself a source of
+// nondeterminism, so its resolution is part of the schedule: when the timer
+// fires, the waiter executes a *check* critical event that removes it from
+// the wait set if (and only if) no notify picked it first. The record phase
+// logs a TimedWaitEntry keyed by the wait-enter event's counter — whether
+// the check event happened and how it resolved — and the replay phase
+// re-drives exactly that path, with the real timer elided (like Sleep,
+// replay does not wait out the timeout).
+func (m *Monitor) TimedWait(t *Thread, d time.Duration) (timedOut bool) {
+	vm := t.vm
+	if vm.Mode() == ids.Passthrough {
+		return m.timedWaitPassthrough(t, d)
+	}
+
+	var (
+		p  *parked
+		c0 ids.GCount
+	)
+	enter := func(gc ids.GCount) {
+		c0 = gc
+		m.lock()
+		if !m.held || m.holder != t.num {
+			m.unlock()
+			panic(&MonitorStateError{Op: "timed-wait", Thread: t.num})
+		}
+		p = &parked{t: t.num, ch: make(chan struct{})}
+		m.waiters = append(m.waiters, p)
+		m.unlock()
+		m.release(t, "timed-wait")
+	}
+
+	if vm.mode == ids.Record {
+		t.Critical(enter)
+		timer := time.NewTimer(d)
+		check := false
+		select {
+		case <-p.ch:
+			timer.Stop()
+		case <-timer.C:
+			check = true
+			t.Critical(func(ids.GCount) {
+				m.lock()
+				timedOut = m.removeParked(p)
+				m.unlock()
+			})
+			if !timedOut {
+				// A notify won the race and will signal (or already has).
+				<-p.ch
+			}
+		}
+		vm.logs.Schedule.Append(&tracelog.TimedWaitEntry{GC: c0, Check: check, TimedOut: timedOut})
+		t.Blocking(func() { m.acquire(t.num) }, func(ids.GCount) {})
+		return timedOut
+	}
+
+	// Replay.
+	t.Critical(enter)
+	entry, ok := vm.schedIdx.TimedWaits[c0]
+	if !ok {
+		t.diverge("timed wait entered at counter %d has no recorded resolution", c0)
+	}
+	if entry.Check {
+		t.Critical(func(ids.GCount) {
+			if entry.TimedOut {
+				m.lock()
+				if !m.removeParked(p) {
+					m.unlock()
+					t.diverge("timed wait at counter %d recorded a timeout but the waiter was already woken", c0)
+				}
+				m.unlock()
+			}
+			// Recorded as notified-despite-timer: the check found nothing;
+			// the replayed notify (ordered by the schedule) signals p.ch.
+		})
+	}
+	if !entry.TimedOut {
+		<-p.ch
+	}
+	t.Blocking(func() { m.acquire(t.num) }, func(ids.GCount) {})
+	return entry.TimedOut
+}
+
+// timedWaitPassthrough is the uninstrumented semantics.
+func (m *Monitor) timedWaitPassthrough(t *Thread, d time.Duration) bool {
+	m.lock()
+	if !m.held || m.holder != t.num {
+		m.unlock()
+		panic(&MonitorStateError{Op: "timed-wait", Thread: t.num})
+	}
+	p := &parked{t: t.num, ch: make(chan struct{})}
+	m.waiters = append(m.waiters, p)
+	m.unlock()
+	m.release(t, "timed-wait")
+
+	timedOut := false
+	timer := time.NewTimer(d)
+	select {
+	case <-p.ch:
+		timer.Stop()
+	case <-timer.C:
+		m.lock()
+		timedOut = m.removeParked(p)
+		m.unlock()
+		if !timedOut {
+			<-p.ch
+		}
+	}
+	m.acquire(t.num)
+	return timedOut
+}
+
+// removeParked removes the exact entry p from the wait set, reporting
+// whether it was still there. Caller holds the state lock.
+func (m *Monitor) removeParked(p *parked) bool {
+	for i, q := range m.waiters {
+		if q == p {
+			m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Notify wakes one thread from the wait set; NotifyAll wakes all of them.
+// Record mode logs which threads were woken (keyed by the event's counter
+// value); replay consults the log and wakes exactly those threads.
+func (m *Monitor) Notify(t *Thread) { m.notify(t, false) }
+
+// NotifyAll wakes every thread currently in the wait set.
+func (m *Monitor) NotifyAll(t *Thread) { m.notify(t, true) }
+
+func (m *Monitor) notify(t *Thread, all bool) {
+	vm := t.vm
+	t.Critical(func(gc ids.GCount) {
+		m.lock()
+		if !m.held || m.holder != t.num {
+			m.unlock()
+			panic(&MonitorStateError{Op: "notify", Thread: t.num})
+		}
+		var woken []ids.ThreadNum
+		if vm.mode == ids.Replay {
+			for _, tn := range vm.schedIdx.Notifies[gc] {
+				p := m.takeWaiter(tn)
+				if p == nil {
+					m.unlock()
+					t.diverge("notify at gc %d expected thread %d in wait set", gc, tn)
+				}
+				close(p.ch)
+				woken = append(woken, tn)
+			}
+		} else {
+			k := 1
+			if all {
+				k = len(m.waiters)
+			}
+			for i := 0; i < k && len(m.waiters) > 0; i++ {
+				p := m.waiters[0]
+				m.waiters = m.waiters[1:]
+				close(p.ch)
+				woken = append(woken, p.t)
+			}
+		}
+		m.unlock()
+		if vm.mode == ids.Record && len(woken) > 0 {
+			vm.logs.Schedule.Append(&tracelog.Notify{GC: gc, Woken: woken})
+		}
+	})
+}
+
+// takeWaiter removes and returns the wait-set entry for thread tn, or nil.
+// Caller holds the state lock.
+func (m *Monitor) takeWaiter(tn ids.ThreadNum) *parked {
+	for i, p := range m.waiters {
+		if p.t == tn {
+			m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+			return p
+		}
+	}
+	return nil
+}
+
+// WaiterCount reports the size of the wait set.
+func (m *Monitor) WaiterCount() int {
+	m.lock()
+	defer m.unlock()
+	return len(m.waiters)
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ids"
+)
+
+// SharedInt is a shared integer variable. Every access is a critical event
+// (§2.1): the order of accesses across threads is exactly what distinguishes
+// one logical thread schedule from another, so Get and Set are individually
+// atomic but sequences of them race at application level — as racy Java field
+// accesses do. In passthrough mode accesses compile down to plain atomics,
+// modeling the unmodified JVM.
+type SharedInt struct {
+	v int64
+}
+
+// Get reads the variable as a critical event of thread t.
+func (s *SharedInt) Get(t *Thread) int64 {
+	if t.vm.mode == ids.Passthrough {
+		v := atomic.LoadInt64(&s.v)
+		t.maybeYield()
+		return v
+	}
+	var out int64
+	t.Critical(func(ids.GCount) { out = s.v })
+	return out
+}
+
+// Set writes the variable as a critical event of thread t.
+func (s *SharedInt) Set(t *Thread, v int64) {
+	if t.vm.mode == ids.Passthrough {
+		atomic.StoreInt64(&s.v, v)
+		t.maybeYield()
+		return
+	}
+	t.Critical(func(ids.GCount) { s.v = v })
+}
+
+// Add atomically adds delta as a single critical event and returns the new
+// value. Note that x.Set(t, x.Get(t)+1) is *two* critical events and is the
+// racy idiom the paper's benchmark uses ("a shared variable that is updated
+// without exclusive access", §6); Add is the non-racy counterpart.
+func (s *SharedInt) Add(t *Thread, delta int64) int64 {
+	if t.vm.mode == ids.Passthrough {
+		v := atomic.AddInt64(&s.v, delta)
+		t.maybeYield()
+		return v
+	}
+	var out int64
+	t.Critical(func(ids.GCount) {
+		s.v += delta
+		out = s.v
+	})
+	return out
+}
+
+// Restore writes the variable without generating a critical event. It exists
+// for checkpoint restoration only: a resumed replay reconstructs its state
+// before any concurrent activity, and the restoration is not part of the
+// recorded schedule (the checkpointed events it summarizes were skipped).
+// Never call it while other threads are running.
+func (s *SharedInt) Restore(v int64) {
+	atomic.StoreInt64(&s.v, v)
+}
+
+// Load reads the variable without generating a critical event. It is for
+// inspecting final state after the VM's threads have finished (or initial
+// state before they start); while threads run it reads racy, non-replayable
+// state.
+func (s *SharedInt) Load() int64 {
+	return atomic.LoadInt64(&s.v)
+}
+
+// SharedVar is a shared variable of arbitrary type with critical-event access
+// semantics. The zero value holds the zero value of T.
+type SharedVar[T any] struct {
+	mu sync.Mutex // passthrough-mode atomicity only
+	v  T
+}
+
+// Get reads the variable as a critical event of thread t.
+func (s *SharedVar[T]) Get(t *Thread) T {
+	if t.vm.mode == ids.Passthrough {
+		s.mu.Lock()
+		v := s.v
+		s.mu.Unlock()
+		t.maybeYield()
+		return v
+	}
+	var out T
+	t.Critical(func(ids.GCount) { out = s.v })
+	return out
+}
+
+// Set writes the variable as a critical event of thread t.
+func (s *SharedVar[T]) Set(t *Thread, v T) {
+	if t.vm.mode == ids.Passthrough {
+		s.mu.Lock()
+		s.v = v
+		s.mu.Unlock()
+		t.maybeYield()
+		return
+	}
+	t.Critical(func(ids.GCount) { s.v = v })
+}
+
+// Restore writes the variable without generating a critical event; see
+// SharedInt.Restore.
+func (s *SharedVar[T]) Restore(v T) {
+	s.mu.Lock()
+	s.v = v
+	s.mu.Unlock()
+}
+
+// Load reads the variable without generating a critical event; see
+// SharedInt.Load.
+func (s *SharedVar[T]) Load() T {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.v
+}
+
+// Update applies fn to the variable as one critical event and returns the
+// new value.
+func (s *SharedVar[T]) Update(t *Thread, fn func(T) T) T {
+	if t.vm.mode == ids.Passthrough {
+		s.mu.Lock()
+		v := fn(s.v)
+		s.v = v
+		s.mu.Unlock()
+		t.maybeYield()
+		return v
+	}
+	var out T
+	t.Critical(func(ids.GCount) {
+		s.v = fn(s.v)
+		out = s.v
+	})
+	return out
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// sleepApp: a sleeper thread naps while a worker races ahead; the sleeper
+// then reads the counter. The value it observes depends on how much the
+// worker did during the nap.
+func sleepApp(t *testing.T, cfg Config, nap time.Duration) (int64, time.Duration, *VM) {
+	t.Helper()
+	vm, err := NewVM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var x SharedInt
+	var observed int64
+	start := time.Now()
+	vm.Start(func(main *Thread) {
+		done := make(chan struct{}, 2)
+		main.Spawn(func(th *Thread) {
+			defer func() { done <- struct{}{} }()
+			th.Sleep(nap)
+			observed = x.Get(th)
+		})
+		main.Spawn(func(th *Thread) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 5000; i++ {
+				x.Set(th, int64(i)+1)
+			}
+		})
+		<-done
+		<-done
+	})
+	vm.Wait()
+	elapsed := time.Since(start)
+	vm.Close()
+	return observed, elapsed, vm
+}
+
+func TestSleepRecordReplayAndTimeCompression(t *testing.T) {
+	const nap = 50 * time.Millisecond
+	recObserved, recElapsed, recVM := sleepApp(t, Config{ID: 80, Mode: ids.Record}, nap)
+	if recElapsed < nap {
+		t.Fatalf("record run took %v, less than the %v nap", recElapsed, nap)
+	}
+	repObserved, repElapsed, _ := sleepApp(t,
+		Config{ID: 80, Mode: ids.Replay, ReplayLogs: recVM.Logs()}, nap)
+	if repObserved != recObserved {
+		t.Errorf("sleeper observed %d during replay, %d during record", repObserved, recObserved)
+	}
+	// Replay elides the sleep: it should finish well under the nap.
+	if repElapsed >= nap {
+		t.Errorf("replay took %v; the %v sleep was not elided", repElapsed, nap)
+	}
+}
+
+func TestSleepPassthrough(t *testing.T) {
+	const nap = 20 * time.Millisecond
+	_, elapsed, vm := sleepApp(t, Config{ID: 81, Mode: ids.Passthrough}, nap)
+	if elapsed < nap {
+		t.Errorf("passthrough run took %v, less than the %v nap", elapsed, nap)
+	}
+	if vm.Stats().CriticalEvents != 0 {
+		t.Error("passthrough counted critical events")
+	}
+}

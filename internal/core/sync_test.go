@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+)
+
+func TestJoinOrdersChildBeforeParent(t *testing.T) {
+	run := func(cfg Config) ([]int64, *VM) {
+		vm := startVM(t, cfg)
+		var x SharedInt
+		var observed []int64
+		vm.Start(func(main *Thread) {
+			child := main.Spawn(func(th *Thread) {
+				for i := 0; i < 500; i++ {
+					x.Set(th, x.Get(th)+1)
+				}
+			})
+			main.Join(child)
+			// Everything the child did is ordered before this read.
+			observed = append(observed, x.Get(main))
+		})
+		vm.Wait()
+		vm.Close()
+		return observed, vm
+	}
+	for _, mode := range []ids.Mode{ids.Record, ids.Passthrough} {
+		obs, vm := run(Config{ID: 95, Mode: mode, RecordJitter: 4})
+		if obs[0] != 500 {
+			t.Errorf("%v: joined parent observed %d, want 500", mode, obs[0])
+		}
+		if mode == ids.Record {
+			repObs, _ := run(Config{ID: 95, Mode: ids.Replay, ReplayLogs: vm.Logs()})
+			if repObs[0] != 500 {
+				t.Errorf("replay joined parent observed %d, want 500", repObs[0])
+			}
+		}
+	}
+}
+
+func TestJoinSelfPanics(t *testing.T) {
+	vm := startVM(t, Config{ID: 96, Mode: ids.Record})
+	got := make(chan any, 1)
+	vm.Start(func(main *Thread) {
+		defer func() { got <- recover() }()
+		main.Join(main)
+	})
+	if r := <-got; r == nil {
+		t.Error("self-join did not panic")
+	}
+	vm.Wait()
+}
+
+func TestBarrierPhasesReplayIdentically(t *testing.T) {
+	const parties, phases = 4, 5
+	run := func(cfg Config) ([][]int64, *VM) {
+		vm := startVM(t, cfg)
+		bar := NewBarrier(parties)
+		var x SharedInt
+		// snapshots[phase][party] = value of x the party observed right
+		// after crossing the barrier in that phase.
+		snapshots := make([][]int64, phases)
+		for i := range snapshots {
+			snapshots[i] = make([]int64, parties)
+		}
+		vm.Start(func(main *Thread) {
+			children := make([]*Thread, parties)
+			for p := 0; p < parties; p++ {
+				p := p
+				children[p] = main.Spawn(func(th *Thread) {
+					for ph := 0; ph < phases; ph++ {
+						for i := 0; i < 50; i++ {
+							x.Set(th, x.Get(th)+1) // racy phase work
+						}
+						bar.Await(th)
+						snapshots[ph][p] = x.Get(th)
+						bar.Await(th) // second barrier so reads finish before the next phase's writes
+					}
+				})
+			}
+			for _, c := range children {
+				main.Join(c)
+			}
+		})
+		vm.Wait()
+		vm.Close()
+		return snapshots, vm
+	}
+	recSnaps, recVM := run(Config{ID: 97, Mode: ids.Record, RecordJitter: 4})
+	// Within a phase, after the barrier every party must see the same total
+	// of completed work... the total of increments is racy (lost updates),
+	// but all parties read after all writes of the phase, between the two
+	// barriers with no intervening writes. All parties of one phase should
+	// therefore observe the same value.
+	for ph := range recSnaps {
+		for p := 1; p < parties; p++ {
+			if recSnaps[ph][p] != recSnaps[ph][0] {
+				t.Fatalf("phase %d: party %d saw %d, party 0 saw %d — barrier leaked",
+					ph, p, recSnaps[ph][p], recSnaps[ph][0])
+			}
+		}
+	}
+	repSnaps, _ := run(Config{ID: 97, Mode: ids.Replay, ReplayLogs: recVM.Logs()})
+	for ph := range recSnaps {
+		for p := range recSnaps[ph] {
+			if recSnaps[ph][p] != repSnaps[ph][p] {
+				t.Fatalf("phase %d party %d: record %d, replay %d",
+					ph, p, recSnaps[ph][p], repSnaps[ph][p])
+			}
+		}
+	}
+}
+
+func TestBarrierTrippedParty(t *testing.T) {
+	vm := startVM(t, Config{ID: 98, Mode: ids.Passthrough})
+	bar := NewBarrier(3)
+	var tripped SharedInt
+	vm.Start(func(main *Thread) {
+		children := make([]*Thread, 3)
+		for p := 0; p < 3; p++ {
+			children[p] = main.Spawn(func(th *Thread) {
+				if bar.Await(th) {
+					tripped.Add(th, 1)
+				}
+			})
+		}
+		for _, c := range children {
+			main.Join(c)
+		}
+	})
+	vm.Wait()
+	vm.Close()
+	if got := tripped.Load(); got != 1 {
+		t.Errorf("%d parties reported tripping the barrier, want exactly 1", got)
+	}
+}
+
+func TestNewBarrierValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBarrier(0) did not panic")
+		}
+	}()
+	NewBarrier(0)
+}

@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/tracelog"
+)
+
+// Thread is one application thread of a DJVM. Threads are created in the
+// same order in the record and replay phases (thread creation is itself a
+// critical event), so a thread has the same ThreadNum in both phases and the
+// per-thread network-event numbering is reproducible (§4.1.3).
+//
+// A Thread value must only be used from the goroutine it was launched on:
+// like a java.lang.Thread, it is the identity of one thread of execution.
+type Thread struct {
+	vm  *VM
+	num ids.ThreadNum
+
+	// eventNum counts this thread's network events (§4.1.3). Only the owning
+	// goroutine touches it.
+	eventNum ids.EventNum
+
+	// Record-mode logical-schedule-interval state, guarded by vm.mu (every
+	// mutation happens inside the GC-critical section).
+	intFirst ids.GCount
+	intLast  ids.GCount
+	intOpen  bool
+	finished bool
+
+	// Replay-mode schedule cursor. Only the owning goroutine touches it.
+	schedule []tracelog.Interval
+	si       int
+	pos      ids.GCount
+	posInit  bool
+
+	// rng drives record-mode scheduler jitter. Only the owning goroutine
+	// touches it; zero means unseeded.
+	rng uint64
+
+	// done is closed when the thread's function returns (after its final
+	// interval is flushed); Join blocks on it.
+	done chan struct{}
+}
+
+// maybeYield yields the processor with probability 1/vm.jitter, emulating a
+// preemptive scheduler's timeslice switches (see Config.RecordJitter).
+func (t *Thread) maybeYield() {
+	vm := t.vm
+	if vm.jitter == 0 || vm.mode == ids.Replay {
+		return
+	}
+	if t.rng == 0 {
+		// Seed from wall time so jitter varies across record runs.
+		t.rng = (uint64(t.num)+1)*0x9E3779B97F4A7C15 ^ uint64(time.Now().UnixNano()) | 1
+	}
+	// xorshift64
+	t.rng ^= t.rng << 13
+	t.rng ^= t.rng >> 7
+	t.rng ^= t.rng << 17
+	if t.rng%vm.jitter == 0 {
+		runtime.Gosched()
+	}
+}
+
+// Num reports the thread's creation-order number.
+func (t *Thread) Num() ids.ThreadNum { return t.num }
+
+// VM reports the thread's DJVM.
+func (t *Thread) VM() *VM { return t.vm }
+
+// NextEventNum allocates the next per-thread network event number.
+func (t *Thread) NextEventNum() ids.EventNum {
+	n := t.eventNum
+	t.eventNum++
+	return n
+}
+
+// EventID builds the networkEventId ⟨threadNum, eventNum⟩ for a given event
+// number of this thread.
+func (t *Thread) EventID(ev ids.EventNum) ids.NetworkEventID {
+	return ids.NetworkEventID{Thread: t.num, Event: ev}
+}
+
+// CurrentEventNum reports the thread's next unallocated network event
+// number. The checkpoint layer records it so a resumed replay continues the
+// thread's event numbering where the record phase left off.
+func (t *Thread) CurrentEventNum() ids.EventNum { return t.eventNum }
+
+// DivergenceError is thrown (via panic) when a replaying thread's execution
+// departs from the recorded schedule — e.g. it attempts more critical events
+// than were recorded. Replay of a deterministic re-execution never diverges;
+// divergence indicates the program, its inputs, or the logs changed.
+type DivergenceError struct {
+	VM     ids.DJVMID
+	Thread ids.ThreadNum
+	Msg    string
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("core: replay divergence on vm %d thread %d: %s", e.VM, e.Thread, e.Msg)
+}
+
+func (t *Thread) diverge(format string, args ...any) {
+	panic(&DivergenceError{VM: t.vm.id, Thread: t.num, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Critical executes op as one non-blocking critical event.
+//
+//   - Record: op runs inside the GC-critical section, atomically with the
+//     global counter update (§2.2); op receives the event's counter value.
+//   - Replay: the thread waits until the global counter equals the event's
+//     recorded value, runs op, and advances the counter (§2.2).
+//   - Passthrough: op(0) runs with no synchronization; primitives supply
+//     their own atomicity (they model unmodified-JVM behavior).
+//
+// op must not block on any other thread's critical event, or the VM
+// deadlocks — that is what Blocking is for.
+func (t *Thread) Critical(op func(gc ids.GCount)) {
+	vm := t.vm
+	switch vm.mode {
+	case ids.Passthrough:
+		op(0)
+		t.maybeYield()
+	case ids.Record:
+		vm.recordEvent(t, op)
+		t.maybeYield()
+	case ids.Replay:
+		next, ok := t.nextScheduled()
+		if !ok {
+			t.diverge("critical event attempted beyond recorded schedule")
+		}
+		vm.replayEvent(t, next, op)
+		t.advanceCursor()
+	}
+}
+
+// recordEvent is the GC-critical section of the record phase: counter update
+// and event execution as one atomic operation (§2.2). The deferred unlock
+// keeps the VM consistent when op panics (e.g. a MonitorStateError the
+// application recovers from): the counter has not ticked and no interval was
+// extended, as if the event never happened.
+func (vm *VM) recordEvent(t *Thread, op func(gc ids.GCount)) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	gc := vm.clock
+	op(gc)
+	if vm.observer != nil {
+		vm.observer(t.num, gc)
+	}
+	vm.clock++
+	vm.stats.CriticalEvents++
+	t.extendIntervalLocked(gc)
+}
+
+// replayEvent waits for the event's turn, executes it, and advances the
+// counter (§2.2).
+func (vm *VM) replayEvent(t *Thread, next ids.GCount, op func(gc ids.GCount)) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	vm.waitTurnLocked(t, next)
+	op(next)
+	if vm.observer != nil {
+		vm.observer(t.num, next)
+	}
+	vm.clock++
+	vm.stats.CriticalEvents++
+	vm.cond.Broadcast()
+}
+
+// awaitTurn blocks until the global counter reaches next without executing
+// anything — the first half of a replayed blocking event.
+func (vm *VM) awaitTurn(t *Thread, next ids.GCount) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	vm.waitTurnLocked(t, next)
+}
+
+// waitTurnLocked parks the thread until the global counter reaches next,
+// registering it for the stall watchdog. Caller holds vm.mu.
+func (vm *VM) waitTurnLocked(t *Thread, next ids.GCount) {
+	for vm.clock != next {
+		if vm.stalled {
+			panic(&DivergenceError{
+				VM:     vm.id,
+				Thread: t.num,
+				Msg: fmt.Sprintf("replay stalled at counter %d; this thread waits for counter %d (parked threads: %v)",
+					vm.clock, next, vm.waiters),
+			})
+		}
+		vm.waiters[t.num] = next
+		vm.cond.Wait()
+		delete(vm.waiters, t.num)
+	}
+}
+
+// Blocking executes a critical event with blocking semantics, following the
+// paper's marking strategy (§3, §4.1.3): performing such events inside the
+// GC-critical section could deadlock the entire DJVM, so:
+//
+//   - Record: op runs outside the GC-critical section (it may block for as
+//     long as it likes, other threads proceed); when it completes, the event
+//     is marked — mark runs atomically with the counter update and receives
+//     the event's counter value, which is therefore assigned at *completion*
+//     of the blocking operation.
+//   - Replay: the thread first waits (without executing any critical event)
+//     until the global counter reaches the event's recorded value; it then
+//     runs op *without holding the GC lock* — no other critical event can
+//     proceed, since the counter has not advanced, but threads blocked in
+//     their own Blocking ops or non-critical code continue — and finally
+//     marks the event and advances the counter. Because record-phase
+//     counters are assigned at completion, every event op causally depends
+//     on has a smaller counter, so op cannot block indefinitely here.
+//   - Passthrough: op runs bare; mark is skipped.
+func (t *Thread) Blocking(op func(), mark func(gc ids.GCount)) {
+	vm := t.vm
+	switch vm.mode {
+	case ids.Passthrough:
+		op()
+		t.maybeYield()
+	case ids.Record:
+		op()
+		vm.recordEvent(t, mark)
+		t.maybeYield()
+	case ids.Replay:
+		next, ok := t.nextScheduled()
+		if !ok {
+			t.diverge("blocking critical event attempted beyond recorded schedule")
+		}
+		vm.awaitTurn(t, next)
+		op()
+		vm.replayEvent(t, next, func(gc ids.GCount) {
+			// Only this thread may advance the counter past next, so the
+			// inner turn wait returns immediately; the shared path keeps the
+			// panic-safety discipline in one place.
+			mark(gc)
+		})
+		t.advanceCursor()
+	}
+}
+
+// CountNetworkEvent bumps the VM's network-event counter (the "#nw events"
+// column of the tables). Called by the socket layer once per network event,
+// in record and replay modes alike — event identification is independent of
+// the recording methodology (§6).
+func (t *Thread) CountNetworkEvent() {
+	vm := t.vm
+	if vm.mode == ids.Passthrough {
+		return
+	}
+	vm.mu.Lock()
+	vm.stats.NetworkEvents++
+	vm.mu.Unlock()
+}
+
+// Join blocks until the other thread's function has returned —
+// Thread.join. The completion is witnessed by a blocking critical event
+// marked after the child finished, so everything the child did is ordered
+// before everything the joiner does next, in record and replay alike.
+func (t *Thread) Join(other *Thread) {
+	if other == t {
+		panic("core: thread joining itself")
+	}
+	t.Blocking(func() { <-other.done }, func(ids.GCount) {})
+}
+
+// Sleep suspends the thread for d — Thread.sleep. The wakeup is a blocking
+// critical event marked at completion, so everything that executed during
+// the sleep is ordered before it. During replay the actual delay is elided:
+// the recorded ordering alone reproduces the behavior, so replay runs
+// "faster than real time" while remaining deterministic.
+func (t *Thread) Sleep(d time.Duration) {
+	switch t.vm.mode {
+	case ids.Passthrough:
+		time.Sleep(d)
+	case ids.Record:
+		t.Blocking(func() { time.Sleep(d) }, func(ids.GCount) {})
+	case ids.Replay:
+		t.Blocking(func() {}, func(ids.GCount) {})
+	}
+}
+
+// Spawn creates a child thread running fn. Thread creation is a critical
+// event, so creation order — and with it ThreadNum assignment — is identical
+// in record and replay.
+func (t *Thread) Spawn(fn func(t *Thread)) *Thread {
+	vm := t.vm
+	var child *Thread
+	if vm.mode == ids.Passthrough {
+		vm.threadsMu.Lock()
+		child = vm.newThreadLocked()
+		vm.threadsMu.Unlock()
+	} else {
+		t.Critical(func(ids.GCount) {
+			vm.threadsMu.Lock()
+			child = vm.newThreadLocked()
+			vm.threadsMu.Unlock()
+		})
+	}
+	vm.launch(child, fn)
+	return child
+}
+
+// extendIntervalLocked folds one critical event into the thread's current
+// logical schedule interval, flushing the previous interval when another
+// thread's event broke consecutiveness (§2.2). Caller holds vm.mu.
+func (t *Thread) extendIntervalLocked(gc ids.GCount) {
+	if t.intOpen && gc == t.intLast+1 {
+		t.intLast = gc
+		return
+	}
+	t.flushIntervalLocked()
+	t.intFirst, t.intLast, t.intOpen = gc, gc, true
+}
+
+// flushIntervalLocked appends the open interval, if any, to the schedule log.
+// Caller holds vm.mu.
+func (t *Thread) flushIntervalLocked() {
+	if !t.intOpen {
+		return
+	}
+	t.intOpen = false
+	if t.vm.logs != nil {
+		t.vm.logs.Schedule.Append(&tracelog.Interval{
+			Thread: t.num,
+			First:  t.intFirst,
+			Last:   t.intLast,
+		})
+	}
+}
+
+// finish closes the thread's record-mode interval state. Idempotent; called
+// when the thread function returns and again defensively from VM.Close.
+func (t *Thread) finish() {
+	vm := t.vm
+	if vm.mode != ids.Record {
+		return
+	}
+	vm.mu.Lock()
+	if !t.finished {
+		t.finished = true
+		t.flushIntervalLocked()
+	}
+	vm.mu.Unlock()
+}
+
+// nextScheduled reports the counter value of this thread's next recorded
+// critical event.
+func (t *Thread) nextScheduled() (ids.GCount, bool) {
+	for t.si < len(t.schedule) {
+		iv := t.schedule[t.si]
+		if !t.posInit {
+			t.pos = iv.First
+			t.posInit = true
+		}
+		if t.pos <= iv.Last {
+			return t.pos, true
+		}
+		t.si++
+		t.posInit = false
+	}
+	return 0, false
+}
+
+// advanceCursor moves past the critical event just executed.
+func (t *Thread) advanceCursor() {
+	t.pos++
+	if t.si < len(t.schedule) && t.pos > t.schedule[t.si].Last {
+		t.si++
+		t.posInit = false
+	}
+}
+
+// RemainingScheduled reports how many recorded critical events this thread
+// has not yet replayed. Zero for non-replay modes.
+func (t *Thread) RemainingScheduled() uint64 {
+	var total uint64
+	for i := t.si; i < len(t.schedule); i++ {
+		iv := t.schedule[i]
+		first := iv.First
+		if i == t.si && t.posInit {
+			first = t.pos
+		}
+		if first <= iv.Last {
+			total += uint64(iv.Last-first) + 1
+		}
+	}
+	return total
+}

@@ -1,0 +1,416 @@
+// Package core implements the DJVM replay runtime: the paper's primary
+// contribution. One VM value corresponds to one DJVM instance — a Java
+// virtual machine extended with record/replay support (§1).
+//
+// The runtime is built around a per-VM global counter (logical time stamp)
+// shared by all threads (§2.2). The counter ticks at each execution of a
+// critical event — a shared-variable access, a synchronization event, or a
+// network event — uniquely identifying each critical event of the VM.
+// Updating the global counter and executing the critical event happen in one
+// atomic operation, the GC-critical section, during the record phase.
+// Blocking events (monitor enter, wait, and the blocking socket calls) are
+// executed outside the GC-critical section and only *marked* inside it once
+// they complete, avoiding deadlock and whole-VM stalls (§2.2, §3).
+//
+// Record mode extracts the logical thread schedule as per-thread logical
+// schedule intervals ⟨FirstCEvent, LastCEvent⟩ — maximal runs of consecutive
+// critical events by one thread — so a schedule of millions of events
+// compresses to a handful of counter pairs (§2.2).
+//
+// Replay mode enforces the recorded schedule: before a thread executes a
+// critical event it waits until the global counter reaches the event's
+// recorded value, executes the event, and advances the counter (§2.2). This
+// requires no cooperation from the underlying scheduler — the property that
+// makes the approach portable across thread schedulers, and what lets this
+// reproduction run unchanged on the (uncontrollable) Go scheduler.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/tracelog"
+)
+
+// Config configures one DJVM instance.
+type Config struct {
+	// ID is the DJVM identity. Assigned (by the operator or harness) during
+	// the record phase, logged, and reused during the replay phase (§4.1.3).
+	ID ids.DJVMID
+	// Mode selects record, replay, or passthrough (plain JVM baseline).
+	Mode ids.Mode
+	// World selects the closed/open/mixed-world network scheme (§4, §5).
+	World ids.World
+	// DJVMPeers lists, for the mixed world, the host names that run DJVMs.
+	// Communication with these peers uses the closed-world scheme; all other
+	// traffic is recorded with full contents as in the open world (§5).
+	// Ignored in closed world (all peers DJVM) and open world (no peer DJVM).
+	DJVMPeers map[string]bool
+	// ReplayLogs supplies the record-phase logs when Mode is Replay.
+	ReplayLogs *tracelog.Set
+	// Resume, when non-nil in replay mode, starts replay from a checkpoint
+	// instead of the beginning, bounding replay time (§8 future work; see
+	// internal/checkpoint). The application must restore its own state to
+	// the checkpointed snapshot before executing further critical events.
+	Resume *ResumePoint
+	// StallTimeout, when > 0 in replay mode, arms a watchdog that detects a
+	// stalled replay: if the global counter makes no progress for the
+	// timeout while threads are waiting for their turns, every waiting
+	// thread panics with a DivergenceError describing which counter it
+	// needed. Mismatched or truncated logs otherwise surface as silent
+	// deadlocks. The watchdog cannot see threads blocked inside network
+	// operations waiting on a stalled *peer* VM, so cross-VM stalls need
+	// each VM's own watchdog armed.
+	StallTimeout time.Duration
+	// EventObserver, when non-nil, is invoked synchronously inside every
+	// critical event (record and replay modes), with the executing thread
+	// and the event's counter value. It is the hook debugger front-ends
+	// build on: watching replay progress, breaking at a counter value (block
+	// inside the callback), or cross-checking a record/replay pair. The
+	// callback runs inside the GC-critical section: it must not itself
+	// execute critical events.
+	EventObserver func(thread ids.ThreadNum, gc ids.GCount)
+	// RecordJitter, when > 0, makes each thread yield the processor with
+	// probability 1/RecordJitter after executing a critical event in record
+	// (and passthrough) mode. The paper's JVM ran under a preemptive thread
+	// scheduler whose timeslices interleave threads at critical-event
+	// granularity; Go goroutines on few cores run long bursts uninterrupted,
+	// which hides exactly the nondeterminism a replay tool exists to tame.
+	// Jitter restores scheduler-driven interleaving without affecting
+	// correctness: any record-phase schedule is a valid schedule, and replay
+	// mode ignores the knob entirely.
+	RecordJitter int
+}
+
+// ResumePoint identifies where a resumed replay picks up.
+type ResumePoint struct {
+	// GC is the global counter value replay starts at: one past the
+	// checkpoint event's counter.
+	GC ids.GCount
+	// NextThread is the thread number the next Spawn receives, preserving
+	// record-phase thread identities across the skipped prefix.
+	NextThread ids.ThreadNum
+	// MainThread is the identity of the thread that took the checkpoint; the
+	// resumed run's initial thread adopts it.
+	MainThread ids.ThreadNum
+	// MainEventNum is the checkpointing thread's network event counter at
+	// the checkpoint.
+	MainEventNum ids.EventNum
+}
+
+// VM is one DJVM instance.
+type VM struct {
+	id    ids.DJVMID
+	mode  ids.Mode
+	world ids.World
+	peers map[string]bool
+
+	// mu is the GC-critical-section lock: it guards clock and, in record
+	// mode, makes counter update + event execution one atomic operation.
+	mu    sync.Mutex
+	cond  *sync.Cond // broadcast whenever clock advances (replay gating)
+	clock ids.GCount
+
+	jitter   uint64 // yield 1-in-jitter after record-mode critical events
+	observer func(thread ids.ThreadNum, gc ids.GCount)
+
+	// Replay stall watchdog state, guarded by mu.
+	waiters      map[ids.ThreadNum]ids.GCount // threads parked on their turn
+	stalled      bool
+	stopWatchdog chan struct{}
+
+	logs *tracelog.Set // record mode
+
+	schedIdx *tracelog.ScheduleIndex // replay mode
+	netIdx   *tracelog.NetworkIndex
+	dgIdx    *tracelog.DatagramIndex
+
+	threadsMu  sync.Mutex
+	threads    []*Thread
+	nextThread ids.ThreadNum
+	resume     *ResumePoint
+	activeWork sync.WaitGroup
+
+	stats Stats
+
+	closed bool
+}
+
+// Stats aggregates the quantities the paper's tables report for one VM.
+type Stats struct {
+	// CriticalEvents is the total number of critical events executed
+	// (the "#critical events" column of Tables 1 and 2).
+	CriticalEvents uint64
+	// NetworkEvents is the number of critical events that are also network
+	// events (the "#nw events" column).
+	NetworkEvents uint64
+}
+
+// NewVM creates a DJVM in the configured mode. In replay mode the logs
+// recorded by the previous run must be supplied and are indexed up front.
+func NewVM(cfg Config) (*VM, error) {
+	vm := &VM{
+		id:    cfg.ID,
+		mode:  cfg.Mode,
+		world: cfg.World,
+		peers: cfg.DJVMPeers,
+	}
+	if cfg.RecordJitter > 0 {
+		vm.jitter = uint64(cfg.RecordJitter)
+	}
+	vm.observer = cfg.EventObserver
+	vm.cond = sync.NewCond(&vm.mu)
+	switch cfg.Mode {
+	case ids.Record:
+		vm.logs = tracelog.NewSet()
+	case ids.Replay:
+		if cfg.ReplayLogs == nil {
+			return nil, fmt.Errorf("core: replay VM %d needs ReplayLogs", cfg.ID)
+		}
+		sched, err := tracelog.BuildScheduleIndex(cfg.ReplayLogs.Schedule)
+		if err != nil {
+			return nil, fmt.Errorf("core: vm %d: schedule log: %w", cfg.ID, err)
+		}
+		if sched.Meta.VM != cfg.ID {
+			return nil, fmt.Errorf("core: vm %d: schedule log belongs to vm %d", cfg.ID, sched.Meta.VM)
+		}
+		if sched.Meta.World != cfg.World {
+			return nil, fmt.Errorf("core: vm %d: recorded world %v, configured %v", cfg.ID, sched.Meta.World, cfg.World)
+		}
+		netIdx, err := tracelog.BuildNetworkIndex(cfg.ReplayLogs.Network)
+		if err != nil {
+			return nil, fmt.Errorf("core: vm %d: network log: %w", cfg.ID, err)
+		}
+		dgIdx, err := tracelog.BuildDatagramIndex(cfg.ReplayLogs.Datagram)
+		if err != nil {
+			return nil, fmt.Errorf("core: vm %d: datagram log: %w", cfg.ID, err)
+		}
+		vm.schedIdx, vm.netIdx, vm.dgIdx = sched, netIdx, dgIdx
+		if cfg.Resume != nil {
+			vm.resume = cfg.Resume
+			vm.clock = cfg.Resume.GC
+			vm.nextThread = cfg.Resume.NextThread
+		}
+		vm.waiters = make(map[ids.ThreadNum]ids.GCount)
+		if cfg.StallTimeout > 0 {
+			vm.stopWatchdog = make(chan struct{})
+			go vm.watchdog(cfg.StallTimeout)
+		}
+	case ids.Passthrough:
+		// No logs, no enforcement: the plain-JVM baseline.
+	default:
+		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
+	}
+	return vm, nil
+}
+
+// ID reports the DJVM identity.
+func (vm *VM) ID() ids.DJVMID { return vm.id }
+
+// Mode reports the execution mode.
+func (vm *VM) Mode() ids.Mode { return vm.mode }
+
+// World reports the world configuration.
+func (vm *VM) World() ids.World { return vm.world }
+
+// IsDJVMPeer reports whether the named host runs a DJVM under the current
+// world configuration: everyone in the closed world, nobody in the open
+// world, and exactly the configured peer set in the mixed world (§5).
+func (vm *VM) IsDJVMPeer(host string) bool {
+	switch vm.world {
+	case ids.ClosedWorld:
+		return true
+	case ids.OpenWorld:
+		return false
+	default:
+		return vm.peers[host]
+	}
+}
+
+// Logs exposes the record-phase log set (nil unless recording).
+func (vm *VM) Logs() *tracelog.Set { return vm.logs }
+
+// NetworkIndex exposes the replay-phase network log index (nil unless
+// replaying).
+func (vm *VM) NetworkIndex() *tracelog.NetworkIndex { return vm.netIdx }
+
+// DatagramIndex exposes the replay-phase datagram log index (nil unless
+// replaying).
+func (vm *VM) DatagramIndex() *tracelog.DatagramIndex { return vm.dgIdx }
+
+// ScheduleIndex exposes the replay-phase schedule index (nil unless
+// replaying).
+func (vm *VM) ScheduleIndex() *tracelog.ScheduleIndex { return vm.schedIdx }
+
+// Clock reports the current global counter value.
+func (vm *VM) Clock() ids.GCount {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	return vm.clock
+}
+
+// Stats returns a snapshot of the VM's event counters.
+func (vm *VM) Stats() Stats {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	return vm.stats
+}
+
+// Start creates the VM's initial thread (threadNum 0) running fn and returns
+// immediately. Exactly one Start call is allowed per VM.
+func (vm *VM) Start(fn func(t *Thread)) *Thread {
+	vm.threadsMu.Lock()
+	if len(vm.threads) != 0 {
+		vm.threadsMu.Unlock()
+		panic("core: VM.Start called twice")
+	}
+	t := vm.newThreadLocked()
+	vm.threadsMu.Unlock()
+	vm.launch(t, fn)
+	return t
+}
+
+// newThreadLocked allocates the next thread. Caller holds threadsMu.
+func (vm *VM) newThreadLocked() *Thread {
+	t := &Thread{vm: vm}
+	if vm.resume != nil && len(vm.threads) == 0 {
+		// The resumed run's initial thread is the checkpointing thread,
+		// resuming its recorded identity and event numbering; subsequent
+		// spawns continue from the recorded next thread number.
+		t.num = vm.resume.MainThread
+		t.eventNum = vm.resume.MainEventNum
+	} else {
+		t.num = vm.nextThread
+		vm.nextThread++
+	}
+	if vm.mode == ids.Replay {
+		t.schedule = vm.schedIdx.Intervals[t.num]
+		if vm.resume != nil {
+			t.schedule = fastForward(t.schedule, vm.resume.GC)
+		}
+	}
+	vm.threads = append(vm.threads, t)
+	return t
+}
+
+// fastForward trims a thread's schedule to the critical events at or after
+// the resume counter.
+func fastForward(schedule []tracelog.Interval, at ids.GCount) []tracelog.Interval {
+	var out []tracelog.Interval
+	for _, iv := range schedule {
+		if iv.Last < at {
+			continue
+		}
+		if iv.First < at {
+			iv.First = at
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// launch runs fn on its own goroutine, closing the thread's final interval
+// when fn returns and signaling joiners.
+func (vm *VM) launch(t *Thread, fn func(t *Thread)) {
+	t.done = make(chan struct{})
+	vm.activeWork.Add(1)
+	go func() {
+		defer close(t.done)
+		defer vm.activeWork.Done()
+		defer t.finish()
+		fn(t)
+	}()
+}
+
+// Wait blocks until every thread of the VM has returned.
+func (vm *VM) Wait() {
+	vm.activeWork.Wait()
+}
+
+// watchdog monitors replay progress: if the counter stands still for the
+// timeout while threads are parked on their turns, it flips the stall flag
+// and wakes them to fail with diagnostics.
+func (vm *VM) watchdog(timeout time.Duration) {
+	tick := time.NewTicker(timeout / 4)
+	defer tick.Stop()
+	lastClock := ids.GCount(0)
+	lastChange := time.Now()
+	for {
+		select {
+		case <-vm.stopWatchdog:
+			return
+		case <-tick.C:
+		}
+		vm.mu.Lock()
+		switch {
+		case vm.clock != lastClock:
+			lastClock = vm.clock
+			lastChange = time.Now()
+		case len(vm.waiters) > 0 && time.Since(lastChange) >= timeout:
+			vm.stalled = true
+			vm.cond.Broadcast()
+			vm.mu.Unlock()
+			return
+		}
+		vm.mu.Unlock()
+	}
+}
+
+// WaitingThreads reports, for a replaying VM, which threads are parked
+// waiting for their next scheduled counter value — the diagnostic a stalled
+// replay prints.
+func (vm *VM) WaitingThreads() map[ids.ThreadNum]ids.GCount {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	out := make(map[ids.ThreadNum]ids.GCount, len(vm.waiters))
+	for tn, gc := range vm.waiters {
+		out[tn] = gc
+	}
+	return out
+}
+
+// ThreadCount reports how many threads have been created so far in this run.
+func (vm *VM) ThreadCount() int {
+	vm.threadsMu.Lock()
+	defer vm.threadsMu.Unlock()
+	return len(vm.threads)
+}
+
+// NextThreadNum reports the thread number the next Spawn will assign.
+func (vm *VM) NextThreadNum() ids.ThreadNum {
+	vm.threadsMu.Lock()
+	defer vm.threadsMu.Unlock()
+	return vm.nextThread
+}
+
+// Close finalizes the VM. In record mode it flushes any open schedule
+// intervals and appends the VMMeta record; the log set is then complete and
+// can be saved or handed to a replay VM. Close is idempotent.
+func (vm *VM) Close() {
+	vm.threadsMu.Lock()
+	threads := append([]*Thread(nil), vm.threads...)
+	vm.threadsMu.Unlock()
+	for _, t := range threads {
+		t.finish()
+	}
+
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	if vm.closed {
+		return
+	}
+	vm.closed = true
+	if vm.stopWatchdog != nil {
+		close(vm.stopWatchdog)
+	}
+	if vm.mode == ids.Record {
+		vm.logs.Schedule.Append(&tracelog.VMMeta{
+			VM:      vm.id,
+			World:   vm.world,
+			Threads: uint32(len(threads)),
+			FinalGC: vm.clock,
+		})
+	}
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/tracelog"
+)
+
+// runRacyCounter runs nThreads threads each performing iters racy increments
+// (Get then Set — two critical events, so interleavings lose updates) while
+// recording the per-thread sequence of observed values. It returns the traces
+// and the final counter value.
+func runRacyCounter(t *testing.T, cfg Config, nThreads, iters int) ([][]int64, int64, *VM) {
+	t.Helper()
+	vm, err := NewVM(cfg)
+	if err != nil {
+		t.Fatalf("NewVM: %v", err)
+	}
+	var counter SharedInt
+	traces := make([][]int64, nThreads)
+	var wg sync.WaitGroup
+	wg.Add(nThreads)
+	vm.Start(func(main *Thread) {
+		for i := 0; i < nThreads; i++ {
+			i := i
+			main.Spawn(func(th *Thread) {
+				defer wg.Done()
+				for j := 0; j < iters; j++ {
+					v := counter.Get(th)
+					traces[i] = append(traces[i], v)
+					counter.Set(th, v+1)
+				}
+			})
+		}
+	})
+	vm.Wait()
+	wg.Wait()
+	final := int64(-1)
+	// Read the final value through a fresh critical event on the main VM
+	// path only in modes that allow it; grab it directly instead.
+	final = counter.v
+	vm.Close()
+	return traces, final, vm
+}
+
+func tracesEqual(a, b [][]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRecordReplayRacyCounter(t *testing.T) {
+	const nThreads, iters = 8, 200
+	recTraces, recFinal, recVM := runRacyCounter(t, Config{ID: 1, Mode: ids.Record}, nThreads, iters)
+
+	logs := recVM.Logs()
+	if logs.Schedule.Size() == 0 {
+		t.Fatal("record produced empty schedule log")
+	}
+
+	repTraces, repFinal, repVM := runRacyCounter(t,
+		Config{ID: 1, Mode: ids.Replay, ReplayLogs: logs}, nThreads, iters)
+
+	if !tracesEqual(recTraces, repTraces) {
+		t.Errorf("replay traces differ from record traces")
+	}
+	if recFinal != repFinal {
+		t.Errorf("replay final counter %d, record %d", repFinal, recFinal)
+	}
+	recStats, repStats := recVM.Stats(), repVM.Stats()
+	if recStats.CriticalEvents != repStats.CriticalEvents {
+		t.Errorf("critical event counts differ: record %d, replay %d",
+			recStats.CriticalEvents, repStats.CriticalEvents)
+	}
+}
+
+func TestRecordIsNondeterministicAcrossRuns(t *testing.T) {
+	// Sanity check that the workload actually races: across several record
+	// runs, at least two final values should differ. RecordJitter emulates
+	// preemptive timeslicing so this holds even on one CPU. (If all runs
+	// agreed, the replay test above would prove nothing.)
+	const nThreads, iters = 8, 300
+	finals := map[int64]bool{}
+	for run := 0; run < 8; run++ {
+		_, final, _ := runRacyCounter(t, Config{ID: 1, Mode: ids.Record, RecordJitter: 4}, nThreads, iters)
+		finals[final] = true
+		if len(finals) >= 2 {
+			return
+		}
+	}
+	t.Errorf("scheduler produced identical outcomes in all 8 jittered runs (finals=%v)", finals)
+}
+
+func TestJitteredRecordReplaysExactly(t *testing.T) {
+	const nThreads, iters = 6, 150
+	recTraces, recFinal, recVM := runRacyCounter(t,
+		Config{ID: 9, Mode: ids.Record, RecordJitter: 3}, nThreads, iters)
+	repTraces, repFinal, _ := runRacyCounter(t,
+		Config{ID: 9, Mode: ids.Replay, ReplayLogs: recVM.Logs()}, nThreads, iters)
+	if recFinal != repFinal {
+		t.Errorf("replay final %d, record %d", repFinal, recFinal)
+	}
+	if !tracesEqual(recTraces, repTraces) {
+		t.Error("replay traces differ from jittered record traces")
+	}
+}
+
+func TestScheduleIntervalsCoverAllEvents(t *testing.T) {
+	const nThreads, iters = 4, 100
+	_, _, vm := runRacyCounter(t, Config{ID: 7, Mode: ids.Record}, nThreads, iters)
+	idx, err := tracelog.BuildScheduleIndex(vm.Logs().Schedule)
+	if err != nil {
+		t.Fatalf("BuildScheduleIndex: %v", err)
+	}
+	if idx.Meta.VM != 7 {
+		t.Errorf("meta VM = %d, want 7", idx.Meta.VM)
+	}
+	// Intervals across all threads must partition [0, FinalGC): each counter
+	// value appears in exactly one interval.
+	seen := make(map[ids.GCount]ids.ThreadNum)
+	var total uint64
+	for tn, ivs := range idx.Intervals {
+		for _, iv := range ivs {
+			for gc := iv.First; ; gc++ {
+				if prev, dup := seen[gc]; dup {
+					t.Fatalf("counter %d in intervals of both thread %d and %d", gc, prev, tn)
+				}
+				seen[gc] = tn
+				total++
+				if gc == iv.Last {
+					break
+				}
+			}
+		}
+	}
+	if total != uint64(idx.Meta.FinalGC) {
+		t.Errorf("intervals cover %d events, final counter is %d", total, idx.Meta.FinalGC)
+	}
+	if total != vm.Stats().CriticalEvents {
+		t.Errorf("intervals cover %d events, stats report %d", total, vm.Stats().CriticalEvents)
+	}
+}
+
+// runMonitorWorkload exercises Enter/Exit/Wait/Notify with a bounded-buffer
+// producer/consumer pair plus contending incrementers.
+func runMonitorWorkload(t *testing.T, cfg Config) ([]int, *VM) {
+	t.Helper()
+	vm, err := NewVM(cfg)
+	if err != nil {
+		t.Fatalf("NewVM: %v", err)
+	}
+	mon := NewMonitor()
+	var queue SharedVar[[]int]
+	var consumed []int
+	const items = 50
+
+	vm.Start(func(main *Thread) {
+		main.Spawn(func(p *Thread) { // producer
+			for i := 0; i < items; i++ {
+				mon.Enter(p)
+				queue.Update(p, func(q []int) []int { return append(q, i) })
+				mon.Notify(p)
+				mon.Exit(p)
+			}
+		})
+		main.Spawn(func(c *Thread) { // consumer
+			for got := 0; got < items; {
+				mon.Enter(c)
+				for len(queue.Get(c)) == 0 {
+					mon.Wait(c)
+				}
+				q := queue.Get(c)
+				consumed = append(consumed, q[0])
+				queue.Set(c, q[1:])
+				got++
+				mon.Exit(c)
+			}
+		})
+	})
+	vm.Wait()
+	vm.Close()
+	return consumed, vm
+}
+
+func TestMonitorRecordReplay(t *testing.T) {
+	recConsumed, recVM := runMonitorWorkload(t, Config{ID: 2, Mode: ids.Record})
+	if len(recConsumed) != 50 {
+		t.Fatalf("record consumed %d items, want 50", len(recConsumed))
+	}
+	repConsumed, _ := runMonitorWorkload(t,
+		Config{ID: 2, Mode: ids.Replay, ReplayLogs: recVM.Logs()})
+	for i := range recConsumed {
+		if recConsumed[i] != repConsumed[i] {
+			t.Fatalf("consumed[%d]: replay %d, record %d", i, repConsumed[i], recConsumed[i])
+		}
+	}
+}
+
+func TestMonitorPassthrough(t *testing.T) {
+	consumed, vm := runMonitorWorkload(t, Config{ID: 3, Mode: ids.Passthrough})
+	if len(consumed) != 50 {
+		t.Fatalf("passthrough consumed %d items, want 50", len(consumed))
+	}
+	if vm.Logs() != nil {
+		t.Error("passthrough VM has logs")
+	}
+	if vm.Stats().CriticalEvents != 0 {
+		t.Errorf("passthrough counted %d critical events", vm.Stats().CriticalEvents)
+	}
+}
+
+func TestSpawnAssignsDeterministicThreadNums(t *testing.T) {
+	run := func(cfg Config) ([]ids.ThreadNum, *VM) {
+		vm, err := NewVM(cfg)
+		if err != nil {
+			t.Fatalf("NewVM: %v", err)
+		}
+		var mu sync.Mutex
+		var nums []ids.ThreadNum
+		vm.Start(func(main *Thread) {
+			var inner sync.WaitGroup
+			for i := 0; i < 4; i++ {
+				inner.Add(1)
+				main.Spawn(func(th *Thread) {
+					defer inner.Done()
+					child := th.Spawn(func(g *Thread) {
+						mu.Lock()
+						nums = append(nums, g.Num())
+						mu.Unlock()
+					})
+					_ = child
+				})
+			}
+			inner.Wait()
+		})
+		vm.Wait()
+		vm.Close()
+		return nums, vm
+	}
+	_, recVM := run(Config{ID: 4, Mode: ids.Record})
+	if got := recVM.ThreadCount(); got != 9 { // main + 4 + 4 grandchildren
+		t.Fatalf("record created %d threads, want 9", got)
+	}
+	_, repVM := run(Config{ID: 4, Mode: ids.Replay, ReplayLogs: recVM.Logs()})
+	if got := repVM.ThreadCount(); got != 9 {
+		t.Fatalf("replay created %d threads, want 9", got)
+	}
+}
+
+func TestReplayDivergencePanics(t *testing.T) {
+	// Record a tiny run, then replay a program that attempts more critical
+	// events than were recorded.
+	vm, err := NewVM(Config{ID: 5, Mode: ids.Record})
+	if err != nil {
+		t.Fatalf("NewVM: %v", err)
+	}
+	var x SharedInt
+	vm.Start(func(main *Thread) {
+		x.Set(main, 1)
+	})
+	vm.Wait()
+	vm.Close()
+
+	rep, err := NewVM(Config{ID: 5, Mode: ids.Replay, ReplayLogs: vm.Logs()})
+	if err != nil {
+		t.Fatalf("NewVM(replay): %v", err)
+	}
+	got := make(chan any, 1)
+	rep.Start(func(main *Thread) {
+		defer func() { got <- recover() }()
+		x.Set(main, 1)
+		x.Set(main, 2) // one event too many
+	})
+	r := <-got
+	if _, ok := r.(*DivergenceError); !ok {
+		t.Fatalf("recovered %v (%T), want *DivergenceError", r, r)
+	}
+}
+
+func TestReplayRejectsWrongLogs(t *testing.T) {
+	vm, err := NewVM(Config{ID: 6, Mode: ids.Record})
+	if err != nil {
+		t.Fatalf("NewVM: %v", err)
+	}
+	vm.Start(func(*Thread) {})
+	vm.Wait()
+	vm.Close()
+
+	if _, err := NewVM(Config{ID: 99, Mode: ids.Replay, ReplayLogs: vm.Logs()}); err == nil {
+		t.Error("replay with mismatched VM id accepted")
+	}
+	if _, err := NewVM(Config{ID: 6, Mode: ids.Replay}); err == nil {
+		t.Error("replay without logs accepted")
+	}
+	if _, err := NewVM(Config{ID: 6, Mode: ids.Replay, World: ids.OpenWorld, ReplayLogs: vm.Logs()}); err == nil {
+		t.Error("replay with mismatched world accepted")
+	}
+}
+
+func TestSharedVarUpdate(t *testing.T) {
+	for _, mode := range []ids.Mode{ids.Record, ids.Passthrough} {
+		t.Run(fmt.Sprint(mode), func(t *testing.T) {
+			vm, err := NewVM(Config{ID: 8, Mode: mode})
+			if err != nil {
+				t.Fatalf("NewVM: %v", err)
+			}
+			var v SharedVar[string]
+			vm.Start(func(main *Thread) {
+				v.Set(main, "a")
+				got := v.Update(main, func(s string) string { return s + "b" })
+				if got != "ab" {
+					t.Errorf("Update returned %q, want ab", got)
+				}
+				if g := v.Get(main); g != "ab" {
+					t.Errorf("Get = %q, want ab", g)
+				}
+			})
+			vm.Wait()
+			vm.Close()
+		})
+	}
+}

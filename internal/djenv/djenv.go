@@ -1,0 +1,106 @@
+// Package djenv extends DJVM record/replay to environmental
+// nondeterminism: wall-clock reads and random-number draws. The paper's
+// framework treats as a critical event anything "whose execution order can
+// affect the execution behavior of the application" (§2.1); clock and
+// randomness queries are nondeterministic *inputs* rather than orderings, so
+// — like open-world network input (§5) — their record-phase values are
+// logged in full and served back from the log during replay.
+//
+// A Source is bound to one DJVM. Each query is one critical event whose
+// value is keyed by the thread's network-event numbering, giving replay the
+// same lookup discipline the socket layers use.
+package djenv
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/tracelog"
+)
+
+// Source provides recorded/replayed environmental values for one DJVM.
+type Source struct {
+	vm *core.VM
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New creates an environment source for vm. In record and passthrough modes
+// clock reads use the real clock and random draws use a time-seeded
+// generator; in replay mode every value comes from the log.
+func New(vm *core.VM) *Source {
+	return &Source{
+		vm:  vm,
+		rng: rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// Now returns the current wall-clock time in nanoseconds — the analog of
+// System.currentTimeMillis. One critical event.
+func (s *Source) Now(t *core.Thread) int64 {
+	return s.query(t, "now", func() uint64 { return uint64(time.Now().UnixNano()) }, true)
+}
+
+// Uint64 returns a random value. One critical event.
+func (s *Source) Uint64(t *core.Thread) uint64 {
+	return uint64(s.query(t, "rand", func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.rng.Uint64()
+	}, false))
+}
+
+// Intn returns a uniform value in [0, n). One critical event.
+func (s *Source) Intn(t *core.Thread, n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("djenv: Intn(%d)", n))
+	}
+	return int(s.Uint64(t) % uint64(n))
+}
+
+// query executes one environment critical event. signed only affects the
+// caller's interpretation; values travel as uint64.
+func (s *Source) query(t *core.Thread, op string, sample func() uint64, signed bool) int64 {
+	vm := s.vm
+	if vm.Mode() == ids.Passthrough {
+		return int64(sample())
+	}
+	eventID := t.EventID(t.NextEventNum())
+
+	var out uint64
+	switch vm.Mode() {
+	case ids.Record:
+		t.Critical(func(ids.GCount) {
+			out = sample()
+			vm.Logs().Network.Append(&tracelog.EnvEntry{
+				EventID: eventID,
+				Op:      op,
+				Value:   out,
+			})
+		})
+	case ids.Replay:
+		entry, ok := vm.NetworkIndex().Envs[eventID]
+		t.Critical(func(ids.GCount) {})
+		if !ok {
+			panic(&core.DivergenceError{
+				VM:     vm.ID(),
+				Thread: t.Num(),
+				Msg:    fmt.Sprintf("environment event %v (%s) has no recorded value", eventID, op),
+			})
+		}
+		if entry.Op != op {
+			panic(&core.DivergenceError{
+				VM:     vm.ID(),
+				Thread: t.Num(),
+				Msg:    fmt.Sprintf("environment event %v recorded as %q, replayed as %q", eventID, entry.Op, op),
+			})
+		}
+		out = entry.Value
+	}
+	return int64(out)
+}

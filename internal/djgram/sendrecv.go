@@ -1,0 +1,339 @@
+package djgram
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/tracelog"
+)
+
+// closedSchemeTo decides the recording scheme for a datagram destination or
+// source. Multicast groups are treated as DJVM peers in closed and mixed
+// worlds (point-to-multiple-points extension of the closed-world scheme,
+// §4.2); everything is open-scheme in the open world.
+func (e *Env) closedSchemeTo(host string) bool {
+	if e.vm.World() == ids.OpenWorld {
+		return false
+	}
+	if e.vm.World() == ids.ClosedWorld {
+		return true
+	}
+	// Mixed world: multicast groups use the closed scheme; plain hosts
+	// follow the configured peer set.
+	return e.net.IsGroup(host) || e.vm.IsDJVMPeer(host)
+}
+
+// SendTo sends one application datagram to addr — DatagramSocket.send
+// (§4.2.1). The send is a critical event; in the closed scheme the
+// DGnetworkEventId ⟨dJVMId, dJVMgc⟩ of the event is appended to the data
+// segment (splitting the datagram when it no longer fits, §4.2.2). Replay
+// re-sends over the reliable rudp layer; open-scheme sends are verified
+// against the log and not re-sent (§5).
+func (ds *DatagramSocket) SendTo(t *core.Thread, addr netsim.Addr, data []byte) error {
+	e := ds.env
+	if e.vm.Mode() == ids.Passthrough {
+		return ds.sock.SendTo(addr, data)
+	}
+
+	eventID := t.EventID(t.NextEventNum())
+	t.CountNetworkEvent()
+	closedSc := e.closedSchemeTo(addr.Host)
+	budget := e.payloadBudget()
+
+	if e.vm.Mode() == ids.Record {
+		var err error
+		t.Critical(func(gc ids.GCount) {
+			if !closedSc {
+				err = ds.sock.SendTo(addr, data)
+				if err != nil {
+					e.logNetErr(eventID, "send", err)
+					return
+				}
+				e.vm.Logs().Network.Append(&tracelog.OpenWriteEntry{
+					EventID: eventID,
+					Len:     uint32(len(data)),
+					Sum:     fnvSum(data),
+				})
+				return
+			}
+			dgID := ids.DGNetworkEventID{VM: e.vm.ID(), GC: gc}
+			var frames [][]byte
+			frames, err = splitFrames(data, dgID, budget)
+			if err != nil {
+				e.logNetErr(eventID, "send", err)
+				return
+			}
+			for _, f := range frames {
+				if err = ds.sock.SendTo(addr, f); err != nil {
+					e.logNetErr(eventID, "send", err)
+					return
+				}
+			}
+		})
+		return err
+	}
+
+	// Replay.
+	if rerr, ok := e.replayErr(eventID); ok {
+		t.Critical(func(ids.GCount) {})
+		return rerr
+	}
+	if ds.openReplay || !closedSc {
+		entry, ok := e.vm.NetworkIndex().OpenWrites[eventID]
+		if !ok {
+			return divergef("send event %v has no recorded entry", eventID)
+		}
+		t.Critical(func(ids.GCount) {})
+		if entry.Len != uint32(len(data)) || entry.Sum != fnvSum(data) {
+			return divergef("send event %v payload differs from record (len %d vs %d)",
+				eventID, len(data), entry.Len)
+		}
+		return nil
+	}
+	var err error
+	t.Critical(func(gc ids.GCount) {
+		// The replayed schedule gives this send the same global counter as
+		// in the record phase, so the datagram id is identical on the wire.
+		dgID := ids.DGNetworkEventID{VM: e.vm.ID(), GC: gc}
+		var frames [][]byte
+		frames, err = splitFrames(data, dgID, budget)
+		if err != nil {
+			return
+		}
+		for _, f := range frames {
+			if err = ds.rc.SendTo(e.net, addr, f); err != nil {
+				return
+			}
+		}
+	})
+	if err != nil {
+		return divergef("send event %v failed during replay: %v", eventID, err)
+	}
+	return nil
+}
+
+// splitFrames encodes an application datagram into one wire frame, or two
+// (front/rear) when payload plus meta data exceeds the budget (§4.2.2).
+func splitFrames(data []byte, dgID ids.DGNetworkEventID, budget int) ([][]byte, error) {
+	if len(data) <= budget {
+		return [][]byte{encodeTrailer(data, dgID, portionWhole)}, nil
+	}
+	if len(data) > 2*budget {
+		return nil, fmt.Errorf("%w: %d bytes exceeds two-way split budget %d", ErrTooLarge, len(data), 2*budget)
+	}
+	front := encodeTrailer(data[:budget], dgID, portionFront)
+	rear := encodeTrailer(data[budget:], dgID, portionRear)
+	return [][]byte{front, rear}, nil
+}
+
+// Receive blocks until one application datagram is deliverable and returns
+// its payload and source — DatagramSocket.receive (§4.2.1).
+//
+// Record phase: the raw receive happens outside the GC-critical section;
+// split datagrams are recombined; the delivery is logged into the
+// RecordedDatagramLog as ⟨ReceiverGCounter, datagramId⟩ at the mark
+// (§4.2.2). Datagrams from non-DJVM sources are recorded in full (§5).
+//
+// Replay phase: arriving (reliable, possibly out-of-order) datagrams are
+// buffered; each receive event delivers exactly the datagram id recorded for
+// it, honoring record-phase duplications (a duplicated datagram stays
+// buffered until delivered the recorded number of times) and ignoring
+// datagrams that were not delivered during record (§4.2.3).
+func (ds *DatagramSocket) Receive(t *core.Thread) ([]byte, netsim.Addr, error) {
+	e := ds.env
+	if e.vm.Mode() == ids.Passthrough {
+		pkt, err := ds.sock.Receive()
+		return pkt.Data, pkt.Source, err
+	}
+
+	eventID := t.EventID(t.NextEventNum())
+	t.CountNetworkEvent()
+
+	if e.vm.Mode() == ids.Record {
+		return ds.receiveRecord(t, eventID)
+	}
+	return ds.receiveReplay(t, eventID)
+}
+
+func (ds *DatagramSocket) receiveRecord(t *core.Thread, eventID ids.NetworkEventID) ([]byte, netsim.Addr, error) {
+	e := ds.env
+	var (
+		data   []byte
+		source netsim.Addr
+		dgID   ids.DGNetworkEventID
+		isOpen bool
+		err    error
+	)
+	t.Blocking(func() {
+		for {
+			var pkt netsim.Packet
+			pkt, err = ds.sock.Receive()
+			if err != nil {
+				return
+			}
+			source = pkt.Source
+			if !e.closedSchemeTo(pkt.Source.Host) {
+				data, isOpen = pkt.Data, true
+				return
+			}
+			var payload []byte
+			var portion byte
+			payload, dgID, portion, err = decodeTrailer(pkt.Data)
+			if err != nil {
+				return
+			}
+			if portion == portionWhole {
+				data = payload
+				return
+			}
+			if complete, ok := ds.reassemble(dgID, portion, payload); ok {
+				data = complete
+				return
+			}
+			// Half of a split datagram: keep waiting for its counterpart.
+		}
+	}, func(gc ids.GCount) {
+		switch {
+		case err != nil:
+			e.logNetErr(eventID, "receive", err)
+		case isOpen:
+			cp := make([]byte, len(data))
+			copy(cp, data)
+			e.vm.Logs().Network.Append(&tracelog.OpenDatagramEntry{
+				EventID:    eventID,
+				SourceHost: source.Host,
+				SourcePort: source.Port,
+				Data:       cp,
+			})
+		default:
+			e.vm.Logs().Datagram.Append(&tracelog.DatagramRecvEntry{
+				EventID:    eventID,
+				ReceiverGC: gc,
+				Datagram:   dgID,
+			})
+		}
+	})
+	return data, source, err
+}
+
+// reassemble stores one half of a split datagram and reports the combined
+// payload once both halves are present (§4.2.2). Safe for concurrent
+// record-phase receivers.
+func (ds *DatagramSocket) reassemble(dgID ids.DGNetworkEventID, portion byte, payload []byte) ([]byte, bool) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	p := ds.reasm[dgID]
+	if p == nil {
+		p = &partial{}
+		ds.reasm[dgID] = p
+	}
+	if portion == portionFront {
+		p.front, p.haveFront = payload, true
+	} else {
+		p.rear, p.haveRear = payload, true
+	}
+	if !p.haveFront || !p.haveRear {
+		return nil, false
+	}
+	delete(ds.reasm, dgID)
+	combined := make([]byte, 0, len(p.front)+len(p.rear))
+	combined = append(combined, p.front...)
+	combined = append(combined, p.rear...)
+	return combined, true
+}
+
+func (ds *DatagramSocket) receiveReplay(t *core.Thread, eventID ids.NetworkEventID) ([]byte, netsim.Addr, error) {
+	e := ds.env
+	if rerr, ok := e.replayErr(eventID); ok {
+		t.Critical(func(ids.GCount) {})
+		return nil, netsim.Addr{}, rerr
+	}
+	if entry, ok := e.vm.NetworkIndex().OpenDatagrams[eventID]; ok {
+		// Recorded from a non-DJVM source: performed with the recorded data,
+		// not with the real network (§5).
+		t.Critical(func(ids.GCount) {})
+		data := make([]byte, len(entry.Data))
+		copy(data, entry.Data)
+		return data, netsim.Addr{Host: entry.SourceHost, Port: entry.SourcePort}, nil
+	}
+	want, ok := e.vm.DatagramIndex().ByEvent[eventID]
+	if !ok {
+		return nil, netsim.Addr{}, divergef("receive event %v has no recorded datagram", eventID)
+	}
+
+	var (
+		data   []byte
+		source netsim.Addr
+		err    error
+	)
+	t.Blocking(func() {
+		data, source, err = ds.awaitDatagram(want.Datagram)
+	}, func(ids.GCount) {})
+	return data, source, err
+}
+
+// awaitDatagram returns one delivery of the wanted datagram id, pulling from
+// the pool or the reliable transport and buffering everything else.
+func (ds *DatagramSocket) awaitDatagram(want ids.DGNetworkEventID) ([]byte, netsim.Addr, error) {
+	e := ds.env
+	for {
+		ds.mu.Lock()
+		if p := ds.pool[want]; p != nil {
+			p.remaining--
+			if p.remaining <= 0 {
+				delete(ds.pool, want)
+			}
+			data := make([]byte, len(p.data))
+			copy(data, p.data)
+			src := p.source
+			ds.mu.Unlock()
+			return data, src, nil
+		}
+		ds.mu.Unlock()
+
+		pkt, err := ds.rc.Receive()
+		if err != nil {
+			return nil, netsim.Addr{}, divergef("waiting for datagram %v: %v", want, err)
+		}
+		payload, dgID, portion, derr := decodeTrailer(pkt.Data)
+		if derr != nil {
+			continue // stray non-DJVM frame; replay ignores it
+		}
+		if portion != portionWhole {
+			complete, ok := ds.reassemble(dgID, portion, payload)
+			if !ok {
+				continue
+			}
+			payload = complete
+		}
+		deliveries := e.vm.DatagramIndex().Deliveries[dgID]
+		if deliveries == 0 {
+			// Delivered now but not during record (it was lost then):
+			// "a datagram delivered during replay need be ignored if it was
+			// not delivered during record" (§4.2.3).
+			continue
+		}
+		ds.mu.Lock()
+		if _, dup := ds.pool[dgID]; !dup {
+			ds.pool[dgID] = &pooled{data: payload, source: pkt.Source, remaining: deliveries}
+		}
+		ds.mu.Unlock()
+	}
+}
+
+// PooledDatagrams reports how many distinct datagram ids the replay pool is
+// buffering.
+func (ds *DatagramSocket) PooledDatagrams() int {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return len(ds.pool)
+}
+
+func fnvSum(p []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(p)
+	return h.Sum64()
+}

@@ -1,0 +1,173 @@
+// Package djrpc is an RMI-style request/response layer built entirely on the
+// DJVM stream-socket API. The paper motivates DJVM with distributed Java
+// applications, whose dominant communication layer (Java RMI) sits on
+// exactly the socket operations DJVM makes replayable; djrpc demonstrates
+// that property compositionally: because every connect, read, and write
+// below it is a replayed network event, remote calls — including their
+// interleaving across concurrent client threads and racy server-side handler
+// state — replay deterministically with no RPC-specific recording.
+//
+// The wire protocol is one request and one response per connection
+// (connection-per-call, as classic RMI's transport does for unshared
+// endpoints):
+//
+//	request:  u16 method-name length | method name | u32 body length | body
+//	response: u8 status (0 ok, 1 application error) | u32 length | payload
+package djrpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/djsock"
+	"repro/internal/netsim"
+)
+
+// ErrUnknownMethod is returned (inside a RemoteError) for calls to methods
+// the server has no handler for.
+var ErrUnknownMethod = errors.New("djrpc: unknown method")
+
+// RemoteError is an application-level error returned by a handler,
+// transported back to the caller.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("djrpc: remote %s: %s", e.Method, e.Msg)
+}
+
+// Handler processes one call on a server worker thread. It may freely use
+// the thread for critical events (shared variables, monitors, nested calls).
+type Handler func(t *core.Thread, body []byte) ([]byte, error)
+
+// Server dispatches incoming calls to registered handlers.
+type Server struct {
+	env      *djsock.Env
+	handlers map[string]Handler
+}
+
+// NewServer creates a server that accepts connections through env.
+func NewServer(env *djsock.Env) *Server {
+	return &Server{env: env, handlers: make(map[string]Handler)}
+}
+
+// Handle registers the handler for a method name. Registration is not
+// thread-safe; do it before serving, as with net/http.
+func (s *Server) Handle(method string, h Handler) {
+	s.handlers[method] = h
+}
+
+// Serve accepts exactly calls connections from ss on the calling thread and
+// services each inline. Bounded service makes shutdown deterministic — a
+// "serve forever" loop would leave a blocked accept at the end of the
+// record phase. Use one Serve per worker thread for parallel servicing.
+func (s *Server) Serve(t *core.Thread, ss *djsock.ServerSocket, calls int) error {
+	for i := 0; i < calls; i++ {
+		conn, err := ss.Accept(t)
+		if err != nil {
+			return fmt.Errorf("djrpc: accept: %w", err)
+		}
+		if err := s.serviceOne(t, conn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serviceOne reads one request, dispatches it, writes the response, and
+// closes the connection.
+func (s *Server) serviceOne(t *core.Thread, conn *djsock.Socket) error {
+	defer conn.Close(t)
+
+	var hdr [2]byte
+	if err := conn.ReadFull(t, hdr[:]); err != nil {
+		return fmt.Errorf("djrpc: reading method length: %w", err)
+	}
+	nameLen := int(binary.BigEndian.Uint16(hdr[:]))
+	name := make([]byte, nameLen)
+	if err := conn.ReadFull(t, name); err != nil {
+		return fmt.Errorf("djrpc: reading method name: %w", err)
+	}
+	var blen [4]byte
+	if err := conn.ReadFull(t, blen[:]); err != nil {
+		return fmt.Errorf("djrpc: reading body length: %w", err)
+	}
+	body := make([]byte, binary.BigEndian.Uint32(blen[:]))
+	if err := conn.ReadFull(t, body); err != nil {
+		return fmt.Errorf("djrpc: reading body: %w", err)
+	}
+
+	var (
+		status  byte
+		payload []byte
+	)
+	if h, ok := s.handlers[string(name)]; ok {
+		out, herr := h(t, body)
+		if herr != nil {
+			status, payload = 1, []byte(herr.Error())
+		} else {
+			payload = out
+		}
+	} else {
+		status, payload = 1, []byte(ErrUnknownMethod.Error())
+	}
+
+	resp := make([]byte, 5+len(payload))
+	resp[0] = status
+	binary.BigEndian.PutUint32(resp[1:5], uint32(len(payload)))
+	copy(resp[5:], payload)
+	if _, err := conn.Write(t, resp); err != nil {
+		return fmt.Errorf("djrpc: writing response: %w", err)
+	}
+	return nil
+}
+
+// Client issues calls to one server address.
+type Client struct {
+	env  *djsock.Env
+	addr netsim.Addr
+}
+
+// NewClient creates a client calling the server at addr through env.
+func NewClient(env *djsock.Env, addr netsim.Addr) *Client {
+	return &Client{env: env, addr: addr}
+}
+
+// Call performs one remote call on the calling thread: connect, send the
+// request, await the response. Application errors come back as *RemoteError.
+func (c *Client) Call(t *core.Thread, method string, body []byte) ([]byte, error) {
+	if len(method) > 0xffff {
+		return nil, fmt.Errorf("djrpc: method name too long (%d bytes)", len(method))
+	}
+	conn, err := c.env.Connect(t, c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("djrpc: connect %v: %w", c.addr, err)
+	}
+	defer conn.Close(t)
+
+	req := make([]byte, 2+len(method)+4+len(body))
+	binary.BigEndian.PutUint16(req[0:2], uint16(len(method)))
+	copy(req[2:], method)
+	binary.BigEndian.PutUint32(req[2+len(method):], uint32(len(body)))
+	copy(req[2+len(method)+4:], body)
+	if _, err := conn.Write(t, req); err != nil {
+		return nil, fmt.Errorf("djrpc: sending request: %w", err)
+	}
+
+	var hdr [5]byte
+	if err := conn.ReadFull(t, hdr[:]); err != nil {
+		return nil, fmt.Errorf("djrpc: reading response header: %w", err)
+	}
+	payload := make([]byte, binary.BigEndian.Uint32(hdr[1:5]))
+	if err := conn.ReadFull(t, payload); err != nil {
+		return nil, fmt.Errorf("djrpc: reading response payload: %w", err)
+	}
+	if hdr[0] != 0 {
+		return nil, &RemoteError{Method: method, Msg: string(payload)}
+	}
+	return payload, nil
+}

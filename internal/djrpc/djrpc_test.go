@@ -1,0 +1,212 @@
+package djrpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/djsock"
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/tracelog"
+)
+
+func newVM(t *testing.T, cfg core.Config) *core.VM {
+	t.Helper()
+	vm, err := core.NewVM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+// bankApp: a racy "bank" server whose balance handler does a non-atomic
+// read-modify-write, plus concurrent clients issuing deposits and queries.
+// The final balance and each client's observations depend on call
+// interleaving — which record/replay pins down.
+func bankApp(t *testing.T, mode ids.Mode, seed int64, serverLogs, clientLogs *tracelog.Set,
+	clientErrs *[]string) (int64, []string, *core.VM, *core.VM) {
+	t.Helper()
+	net := netsim.NewNetwork(netsim.Config{
+		Chaos: netsim.Chaos{ConnectDelayMax: time.Millisecond, RandomEphemeral: true},
+		Seed:  seed,
+	})
+	serverVM := newVM(t, core.Config{ID: 1, Mode: mode, World: ids.ClosedWorld, ReplayLogs: serverLogs, RecordJitter: 4})
+	clientVM := newVM(t, core.Config{ID: 2, Mode: mode, World: ids.ClosedWorld, ReplayLogs: clientLogs, RecordJitter: 4})
+	senv := djsock.NewEnv(serverVM, net, "bank")
+	cenv := djsock.NewEnv(clientVM, net, "teller")
+
+	const workers = 3
+	const callsPerWorker = 6
+	const clients = 3
+	const callsPerClient = workers * callsPerWorker / clients
+
+	var balance core.SharedInt
+	srv := NewServer(senv)
+	srv.Handle("deposit", func(th *core.Thread, body []byte) ([]byte, error) {
+		amount := int64(binary.BigEndian.Uint32(body))
+		if amount > 1000 {
+			return nil, fmt.Errorf("deposit of %d exceeds limit", amount)
+		}
+		v := balance.Get(th) // racy read-modify-write, on purpose
+		balance.Set(th, v+amount)
+		out := make([]byte, 8)
+		binary.BigEndian.PutUint64(out, uint64(v+amount))
+		return out, nil
+	})
+
+	ready := make(chan uint16, 1)
+	var finalBalance int64
+	serverVM.Start(func(main *core.Thread) {
+		ss, err := senv.Listen(main, 0)
+		if err != nil {
+			panic(err)
+		}
+		ready <- ss.Port()
+		done := make(chan struct{}, workers)
+		for w := 0; w < workers; w++ {
+			main.Spawn(func(th *core.Thread) {
+				defer func() { done <- struct{}{} }()
+				if err := srv.Serve(th, ss, callsPerWorker); err != nil {
+					panic(err)
+				}
+			})
+		}
+		for w := 0; w < workers; w++ {
+			<-done
+		}
+		finalBalance = balance.Get(main)
+	})
+	port := <-ready
+
+	observed := make([]string, clients)
+	clientVM.Start(func(main *core.Thread) {
+		done := make(chan struct{}, clients)
+		for c := 0; c < clients; c++ {
+			c := c
+			main.Spawn(func(th *core.Thread) {
+				defer func() { done <- struct{}{} }()
+				cl := NewClient(cenv, netsim.Addr{Host: "bank", Port: port})
+				for k := 0; k < callsPerClient; k++ {
+					amount := uint32(10*(c+1) + k)
+					body := make([]byte, 4)
+					binary.BigEndian.PutUint32(body, amount)
+					out, err := cl.Call(th, "deposit", body)
+					if err != nil {
+						panic(err)
+					}
+					observed[c] += fmt.Sprintf("%d,", binary.BigEndian.Uint64(out))
+				}
+			})
+		}
+		for c := 0; c < clients; c++ {
+			<-done
+		}
+	})
+
+	finish := make(chan struct{})
+	go func() {
+		serverVM.Wait()
+		clientVM.Wait()
+		close(finish)
+	}()
+	select {
+	case <-finish:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("bank app deadlocked in %v mode", mode)
+	}
+	serverVM.Close()
+	clientVM.Close()
+	return finalBalance, observed, serverVM, clientVM
+}
+
+func TestRPCRecordReplay(t *testing.T) {
+	recBal, recObs, recS, recC := bankApp(t, ids.Record, 11, nil, nil, nil)
+	repBal, repObs, _, _ := bankApp(t, ids.Replay, 2211, recS.Logs(), recC.Logs(), nil)
+	if recBal != repBal {
+		t.Errorf("final balance: record %d, replay %d", recBal, repBal)
+	}
+	for i := range recObs {
+		if recObs[i] != repObs[i] {
+			t.Errorf("client %d observations: record %q, replay %q", i, recObs[i], repObs[i])
+		}
+	}
+}
+
+func TestRPCInterleavingVariesAcrossFreeRuns(t *testing.T) {
+	seen := map[string]bool{}
+	for run := 0; run < 8; run++ {
+		_, obs, _, _ := bankApp(t, ids.Passthrough, int64(600+run), nil, nil, nil)
+		key := obs[0] + "|" + obs[1] + "|" + obs[2]
+		seen[key] = true
+		if len(seen) >= 2 {
+			return
+		}
+	}
+	t.Skip("rpc interleaving identical across free runs")
+}
+
+func TestRPCRemoteErrorReplayed(t *testing.T) {
+	run := func(mode ids.Mode, sLogs, cLogs *tracelog.Set) (string, *core.VM, *core.VM) {
+		net := netsim.NewNetwork(netsim.Config{Seed: 31})
+		serverVM := newVM(t, core.Config{ID: 5, Mode: mode, World: ids.ClosedWorld, ReplayLogs: sLogs})
+		clientVM := newVM(t, core.Config{ID: 6, Mode: mode, World: ids.ClosedWorld, ReplayLogs: cLogs})
+		senv := djsock.NewEnv(serverVM, net, "bank")
+		cenv := djsock.NewEnv(clientVM, net, "teller")
+
+		srv := NewServer(senv)
+		srv.Handle("deposit", func(th *core.Thread, body []byte) ([]byte, error) {
+			return nil, errors.New("account frozen")
+		})
+		ready := make(chan uint16, 1)
+		serverVM.Start(func(main *core.Thread) {
+			ss, err := senv.Listen(main, 0)
+			if err != nil {
+				panic(err)
+			}
+			ready <- ss.Port()
+			if err := srv.Serve(main, ss, 2); err != nil {
+				panic(err)
+			}
+		})
+		port := <-ready
+		var msgs string
+		clientVM.Start(func(main *core.Thread) {
+			cl := NewClient(cenv, netsim.Addr{Host: "bank", Port: port})
+			_, err1 := cl.Call(main, "deposit", []byte{0, 0, 0, 1})
+			_, err2 := cl.Call(main, "withdraw", nil) // unregistered
+			var re *RemoteError
+			if !errors.As(err1, &re) {
+				panic(fmt.Sprintf("err1 = %v, want RemoteError", err1))
+			}
+			msgs = err1.Error() + ";" + err2.Error()
+		})
+		serverVM.Wait()
+		clientVM.Wait()
+		serverVM.Close()
+		clientVM.Close()
+		return msgs, serverVM, clientVM
+	}
+	recMsgs, recS, recC := run(ids.Record, nil, nil)
+	repMsgs, _, _ := run(ids.Replay, recS.Logs(), recC.Logs())
+	if recMsgs != repMsgs {
+		t.Errorf("error transcript: record %q, replay %q", recMsgs, repMsgs)
+	}
+}
+
+func TestRPCOversizedMethodRejected(t *testing.T) {
+	net := netsim.NewNetwork(netsim.Config{})
+	vm := newVM(t, core.Config{ID: 9, Mode: ids.Passthrough})
+	env := djsock.NewEnv(vm, net, "h")
+	vm.Start(func(main *core.Thread) {
+		cl := NewClient(env, netsim.Addr{Host: "nowhere", Port: 1})
+		long := make([]byte, 1<<17)
+		if _, err := cl.Call(main, string(long), nil); err == nil {
+			panic("oversized method accepted")
+		}
+	})
+	vm.Wait()
+}

@@ -1,0 +1,388 @@
+package djsock
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/tracelog"
+)
+
+// tracelogSetOrNil passes optional replay logs into a run and carries the
+// produced logs out of a record run.
+type tracelogSetOrNil struct {
+	set *tracelog.Set // input: replay logs (nil for record)
+	out *tracelog.Set // output: logs produced by a record run
+}
+
+// recordSimpleExchange records a one-connection exchange and returns both
+// VMs. The client writes "abcd", reads 4 bytes back, and closes.
+func recordSimpleExchange(t *testing.T) (*core.VM, *core.VM) {
+	t.Helper()
+	app := twoVMApp{
+		server: func(e *Env, main *core.Thread, ready chan<- uint16) {
+			ss, err := e.Listen(main, 0)
+			if err != nil {
+				panic(err)
+			}
+			ready <- ss.Port()
+			conn, err := ss.Accept(main)
+			if err != nil {
+				panic(err)
+			}
+			buf := make([]byte, 4)
+			if err := conn.ReadFull(main, buf); err != nil {
+				panic(err)
+			}
+			conn.Write(main, bytes.ToUpper(buf))
+			conn.Close(main)
+		},
+		client: func(e *Env, main *core.Thread, port uint16) {
+			conn, err := e.Connect(main, netsim.Addr{Host: "server", Port: port})
+			if err != nil {
+				panic(err)
+			}
+			conn.Write(main, []byte("abcd"))
+			buf := make([]byte, 4)
+			if err := conn.ReadFull(main, buf); err != nil {
+				panic(err)
+			}
+			conn.Close(main)
+		},
+	}
+	s, c := runTwoVMs(t, app, ids.Record, 71, nil, nil)
+	return s, c
+}
+
+func TestReplayExtraReadDiverges(t *testing.T) {
+	recS, recC := recordSimpleExchange(t)
+
+	// Replay a *different* client that issues one extra read.
+	net := netsim.NewNetwork(netsim.Config{Seed: 2})
+	repS := newVM(t, core.Config{ID: recS.ID(), Mode: ids.Replay, ReplayLogs: recS.Logs()})
+	repC := newVM(t, core.Config{ID: recC.ID(), Mode: ids.Replay, ReplayLogs: recC.Logs()})
+	senv := NewEnv(repS, net, "server")
+	cenv := NewEnv(repC, net, "client")
+
+	ready := make(chan uint16, 1)
+	repS.Start(func(main *core.Thread) {
+		ss, _ := senv.Listen(main, 0)
+		ready <- ss.Port()
+		conn, err := ss.Accept(main)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 4)
+		conn.ReadFull(main, buf)
+		conn.Write(main, bytes.ToUpper(buf))
+		conn.Close(main)
+	})
+	port := <-ready
+	var extraErr error
+	repC.Start(func(main *core.Thread) {
+		conn, err := cenv.Connect(main, netsim.Addr{Host: "server", Port: port})
+		if err != nil {
+			panic(err)
+		}
+		conn.Write(main, []byte("abcd"))
+		buf := make([]byte, 4)
+		conn.ReadFull(main, buf)
+		_, extraErr = conn.Read(main, buf) // not recorded
+		conn.Close(main)
+	})
+	repS.Wait()
+	repC.Wait()
+	if !errors.Is(extraErr, ErrDiverged) {
+		t.Errorf("extra replay read returned %v, want ErrDiverged", extraErr)
+	}
+}
+
+func TestReplayShortBufferDiverges(t *testing.T) {
+	recS, recC := recordSimpleExchange(t)
+
+	net := netsim.NewNetwork(netsim.Config{Seed: 3})
+	repS := newVM(t, core.Config{ID: recS.ID(), Mode: ids.Replay, ReplayLogs: recS.Logs()})
+	repC := newVM(t, core.Config{ID: recC.ID(), Mode: ids.Replay, ReplayLogs: recC.Logs()})
+	senv := NewEnv(repS, net, "server")
+	cenv := NewEnv(repC, net, "client")
+
+	ready := make(chan uint16, 1)
+	var srvErr error
+	repS.Start(func(main *core.Thread) {
+		ss, _ := senv.Listen(main, 0)
+		ready <- ss.Port()
+		conn, err := ss.Accept(main)
+		if err != nil {
+			srvErr = err
+			return
+		}
+		// The record-phase read got all 4 bytes at once (calm network); a
+		// 1-byte buffer cannot hold the recorded count.
+		_, srvErr = conn.Read(main, make([]byte, 1))
+	})
+	port := <-ready
+	repC.Start(func(main *core.Thread) {
+		conn, err := cenv.Connect(main, netsim.Addr{Host: "server", Port: port})
+		if err != nil {
+			panic(err)
+		}
+		conn.Write(main, []byte("abcd"))
+	})
+	repS.Wait()
+	repC.Wait()
+	if !errors.Is(srvErr, ErrDiverged) {
+		t.Skipf("record-phase read was fragmented (err=%v); cannot force short buffer", srvErr)
+	}
+}
+
+func TestReplayUnrecordedAcceptDiverges(t *testing.T) {
+	// Record a server that accepts nothing.
+	recVM := newVM(t, core.Config{ID: 40, Mode: ids.Record})
+	env := NewEnv(recVM, netsim.NewNetwork(netsim.Config{Seed: 4}), "server")
+	recVM.Start(func(main *core.Thread) {
+		ss, err := env.Listen(main, 0)
+		if err != nil {
+			panic(err)
+		}
+		ss.Close(main)
+	})
+	recVM.Wait()
+	recVM.Close()
+
+	repVM := newVM(t, core.Config{ID: 40, Mode: ids.Replay, ReplayLogs: recVM.Logs()})
+	repEnv := NewEnv(repVM, netsim.NewNetwork(netsim.Config{Seed: 5}), "server")
+	var acceptErr error
+	repVM.Start(func(main *core.Thread) {
+		ss, err := repEnv.Listen(main, 0)
+		if err != nil {
+			panic(err)
+		}
+		_, acceptErr = ss.Accept(main) // not recorded
+		ss.Close(main)
+	})
+	repVM.Wait()
+	if !errors.Is(acceptErr, ErrDiverged) {
+		t.Errorf("unrecorded accept returned %v, want ErrDiverged", acceptErr)
+	}
+}
+
+// TestMultipleListenersInterleaved runs a server with two listeners whose
+// acceptor threads interleave; record then replay must agree on the shared
+// append order.
+func TestMultipleListenersInterleaved(t *testing.T) {
+	run := func(mode ids.Mode, seed int64, sLogs, cLogs *tracelogSetOrNil) []string {
+		net := netsim.NewNetwork(netsim.Config{Chaos: chaosProfile(), Seed: seed})
+		sVM := newVM(t, core.Config{ID: 10, Mode: mode, ReplayLogs: sLogs.set})
+		cVM := newVM(t, core.Config{ID: 20, Mode: mode, ReplayLogs: cLogs.set})
+		senv := NewEnv(sVM, net, "server")
+		cenv := NewEnv(cVM, net, "client")
+
+		var order []string
+		ports := make(chan uint16, 2)
+		sVM.Start(func(main *core.Thread) {
+			ssA, err := senv.Listen(main, 0)
+			if err != nil {
+				panic(err)
+			}
+			ssB, err := senv.Listen(main, 0)
+			if err != nil {
+				panic(err)
+			}
+			ports <- ssA.Port()
+			ports <- ssB.Port()
+			done := make(chan struct{}, 2)
+			mon := core.NewMonitor()
+			for _, ss := range []*ServerSocket{ssA, ssB} {
+				ss := ss
+				main.Spawn(func(t *core.Thread) {
+					defer func() { done <- struct{}{} }()
+					conn, err := ss.Accept(t)
+					if err != nil {
+						panic(err)
+					}
+					name := make([]byte, 1)
+					conn.ReadFull(t, name)
+					mon.Enter(t)
+					order = append(order, string(name))
+					mon.Exit(t)
+					conn.Close(t)
+				})
+			}
+			<-done
+			<-done
+		})
+		portA, portB := <-ports, <-ports
+		cVM.Start(func(main *core.Thread) {
+			for i, port := range []uint16{portA, portB} {
+				i, port := i, port
+				main.Spawn(func(t *core.Thread) {
+					conn, err := cenv.Connect(t, netsim.Addr{Host: "server", Port: port})
+					if err != nil {
+						panic(err)
+					}
+					conn.Write(t, []byte{byte('A' + i)})
+					conn.Close(t)
+				})
+			}
+		})
+		sVM.Wait()
+		cVM.Wait()
+		sVM.Close()
+		cVM.Close()
+		sLogs.out, cLogs.out = sVM.Logs(), cVM.Logs()
+		return order
+	}
+	var sLogs, cLogs tracelogSetOrNil
+	recOrder := run(ids.Record, 6, &sLogs, &cLogs)
+	if len(recOrder) != 2 {
+		t.Fatalf("server handled %d connections, want 2", len(recOrder))
+	}
+	sRep := tracelogSetOrNil{set: sLogs.out}
+	cRep := tracelogSetOrNil{set: cLogs.out}
+	repOrder := run(ids.Replay, 6006, &sRep, &cRep)
+	if recOrder[0] != repOrder[0] || recOrder[1] != repOrder[1] {
+		t.Errorf("append order: record %v, replay %v", recOrder, repOrder)
+	}
+}
+
+func TestBoundAdapterWithBufio(t *testing.T) {
+	app := twoVMApp{
+		server: func(e *Env, main *core.Thread, ready chan<- uint16) {
+			ss, err := e.Listen(main, 0)
+			if err != nil {
+				panic(err)
+			}
+			ready <- ss.Port()
+			conn, err := ss.Accept(main)
+			if err != nil {
+				panic(err)
+			}
+			rw := conn.Bound(main)
+			br := bufio.NewReader(rw)
+			line, err := br.ReadString('\n')
+			if err != nil {
+				panic(err)
+			}
+			if _, err := io.WriteString(rw, "echo:"+line); err != nil {
+				panic(err)
+			}
+			rw.Close()
+		},
+		client: func(e *Env, main *core.Thread, port uint16) {
+			conn, err := e.Connect(main, netsim.Addr{Host: "server", Port: port})
+			if err != nil {
+				panic(err)
+			}
+			rw := conn.Bound(main)
+			io.WriteString(rw, "hello bufio\n")
+			br := bufio.NewReader(rw)
+			line, err := br.ReadString('\n')
+			if err != nil {
+				panic(err)
+			}
+			if line != "echo:hello bufio\n" {
+				panic("bad echo: " + line)
+			}
+			rw.Close()
+		},
+	}
+	recS, recC := runTwoVMs(t, app, ids.Record, 81, nil, nil)
+	runTwoVMs(t, app, ids.Replay, 4321, recS.Logs(), recC.Logs())
+}
+
+func TestAvailableZeroReplays(t *testing.T) {
+	app := func(vals *[]int) twoVMApp {
+		return twoVMApp{
+			server: func(e *Env, main *core.Thread, ready chan<- uint16) {
+				ss, err := e.Listen(main, 0)
+				if err != nil {
+					panic(err)
+				}
+				ready <- ss.Port()
+				conn, err := ss.Accept(main)
+				if err != nil {
+					panic(err)
+				}
+				// Query available before any data was written by the peer:
+				// recorded value is (very likely) 0.
+				n, err := conn.Available(main)
+				if err != nil {
+					panic(err)
+				}
+				*vals = append(*vals, n)
+				conn.Close(main)
+			},
+			client: func(e *Env, main *core.Thread, port uint16) {
+				conn, err := e.Connect(main, netsim.Addr{Host: "server", Port: port})
+				if err != nil {
+					panic(err)
+				}
+				conn.Close(main)
+			},
+		}
+	}
+	var rec, rep []int
+	recS, recC := runTwoVMs(t, app(&rec), ids.Record, 91, nil, nil)
+	runTwoVMs(t, app(&rep), ids.Replay, 1919, recS.Logs(), recC.Logs())
+	if len(rec) != 1 || len(rep) != 1 || rec[0] != rep[0] {
+		t.Errorf("available values: record %v, replay %v", rec, rep)
+	}
+}
+
+func TestEOFReplaysAtRecordedPoint(t *testing.T) {
+	app := func(events *[]string) twoVMApp {
+		return twoVMApp{
+			server: func(e *Env, main *core.Thread, ready chan<- uint16) {
+				ss, err := e.Listen(main, 0)
+				if err != nil {
+					panic(err)
+				}
+				ready <- ss.Port()
+				conn, err := ss.Accept(main)
+				if err != nil {
+					panic(err)
+				}
+				buf := make([]byte, 8)
+				for {
+					n, err := conn.Read(main, buf)
+					if err == io.EOF {
+						*events = append(*events, "EOF")
+						break
+					}
+					if err != nil {
+						panic(err)
+					}
+					*events = append(*events, string(buf[:n]))
+				}
+				conn.Close(main)
+			},
+			client: func(e *Env, main *core.Thread, port uint16) {
+				conn, err := e.Connect(main, netsim.Addr{Host: "server", Port: port})
+				if err != nil {
+					panic(err)
+				}
+				conn.Write(main, []byte("xy"))
+				conn.Close(main) // EOF follows the two bytes
+			},
+		}
+	}
+	var rec, rep []string
+	recS, recC := runTwoVMs(t, app(&rec), ids.Record, 95, nil, nil)
+	if len(rec) == 0 || rec[len(rec)-1] != "EOF" {
+		t.Fatalf("record events %v", rec)
+	}
+	runTwoVMs(t, app(&rep), ids.Replay, 2929, recS.Logs(), recC.Logs())
+	if len(rec) != len(rep) {
+		t.Fatalf("event counts differ: record %v, replay %v", rec, rep)
+	}
+	for i := range rec {
+		if rec[i] != rep[i] {
+			t.Errorf("event %d: replay %q, record %q", i, rep[i], rec[i])
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package djsock
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/netsim"
+)
+
+// halfCloseApp: the client sends an EOF-delimited request via CloseWrite and
+// still reads the response on the same connection — the shutdownOutput
+// protocol pattern.
+func halfCloseApp(reply *[]byte) twoVMApp {
+	return twoVMApp{
+		server: func(e *Env, main *core.Thread, ready chan<- uint16) {
+			ss, err := e.Listen(main, 0)
+			if err != nil {
+				panic(err)
+			}
+			ready <- ss.Port()
+			conn, err := ss.Accept(main)
+			if err != nil {
+				panic(err)
+			}
+			var req []byte
+			buf := make([]byte, 8)
+			for {
+				n, err := conn.Read(main, buf)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					panic(err)
+				}
+				req = append(req, buf[:n]...)
+			}
+			if _, err := conn.Write(main, append([]byte("len="), byte('0'+len(req)))); err != nil {
+				panic(err)
+			}
+			conn.Close(main)
+		},
+		client: func(e *Env, main *core.Thread, port uint16) {
+			conn, err := e.Connect(main, netsim.Addr{Host: "server", Port: port})
+			if err != nil {
+				panic(err)
+			}
+			conn.Write(main, []byte("abcde"))
+			if err := conn.CloseWrite(main); err != nil {
+				panic(err)
+			}
+			out := make([]byte, 5)
+			if err := conn.ReadFull(main, out); err != nil {
+				panic(err)
+			}
+			*reply = append([]byte(nil), out...)
+			conn.Close(main)
+		},
+	}
+}
+
+func TestHalfCloseRecordReplay(t *testing.T) {
+	var rec, rep []byte
+	recS, recC := runTwoVMs(t, halfCloseApp(&rec), ids.Record, 101, nil, nil)
+	if string(rec) != "len=5" {
+		t.Fatalf("record reply %q", rec)
+	}
+	runTwoVMs(t, halfCloseApp(&rep), ids.Replay, 10101, recS.Logs(), recC.Logs())
+	if string(rep) != string(rec) {
+		t.Errorf("replay reply %q, record %q", rep, rec)
+	}
+}
+
+func TestAcceptErrorRecordedAndReplayed(t *testing.T) {
+	// A listener closed by another thread makes a blocked accept fail; the
+	// error is recorded and re-thrown during replay (§4.1.3).
+	run := func(mode ids.Mode, sLogs *tracelogSetOrNil) string {
+		net := netsim.NewNetwork(netsim.Config{Seed: 103})
+		vm := newVM(t, core.Config{ID: 50, Mode: mode, ReplayLogs: sLogs.set})
+		env := NewEnv(vm, net, "server")
+		var msg string
+		vm.Start(func(main *core.Thread) {
+			ss, err := env.Listen(main, 0)
+			if err != nil {
+				panic(err)
+			}
+			acceptDone := make(chan struct{})
+			closer := main.Spawn(func(th *core.Thread) {
+				// Give the acceptor time to block first; the replay-phase
+				// Sleep consumes the event without the real delay.
+				th.Sleep(2 * time.Millisecond)
+				if err := ss.Close(th); err != nil {
+					panic(err)
+				}
+				close(acceptDone)
+			})
+			_, aerr := ss.Accept(main)
+			if aerr != nil {
+				msg = aerr.Error()
+			}
+			<-acceptDone
+			main.Join(closer)
+		})
+		vm.Wait()
+		vm.Close()
+		sLogs.out = vm.Logs()
+		return msg
+	}
+	var logs tracelogSetOrNil
+	recMsg := run(ids.Record, &logs)
+	if recMsg == "" {
+		t.Skip("record-phase accept won the race against close")
+	}
+	repLogs := tracelogSetOrNil{set: logs.out}
+	repMsg := run(ids.Replay, &repLogs)
+	if want := "accept: " + recMsg + " (replayed)"; repMsg != want {
+		t.Errorf("replayed accept error %q, want %q", repMsg, want)
+	}
+}
+
+func TestCloseWriteAfterCloseIsError(t *testing.T) {
+	// Writes after CloseWrite fail in record mode with a real error.
+	net := netsim.NewNetwork(netsim.Config{Seed: 104})
+	vm := newVM(t, core.Config{ID: 51, Mode: ids.Record})
+	env := NewEnv(vm, net, "server")
+	peer := newVM(t, core.Config{ID: 52, Mode: ids.Passthrough})
+	penv := NewEnv(peer, net, "peer")
+
+	ready := make(chan uint16, 1)
+	peer.Start(func(main *core.Thread) {
+		ss, err := penv.Listen(main, 0)
+		if err != nil {
+			panic(err)
+		}
+		ready <- ss.Port()
+		conn, err := ss.Accept(main)
+		if err != nil {
+			panic(err)
+		}
+		conn.Close(main)
+	})
+	port := <-ready
+	var werr error
+	vm.Start(func(main *core.Thread) {
+		conn, err := env.Connect(main, netsim.Addr{Host: "peer", Port: port})
+		if err != nil {
+			panic(err)
+		}
+		conn.CloseWrite(main)
+		_, werr = conn.Write(main, []byte("x"))
+		conn.Close(main)
+	})
+	vm.Wait()
+	peer.Wait()
+	vm.Close()
+	peer.Close()
+	if !errors.Is(werr, netsim.ErrClosed) {
+		t.Errorf("write after CloseWrite: %v, want ErrClosed", werr)
+	}
+}

@@ -1,0 +1,276 @@
+package djsock
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/netsim"
+)
+
+// partialReadApp: the server writes a payload in bursts; the client reads
+// with a small buffer, recording the byte-count sequence its reads returned.
+// Stream fragmentation chaos makes the counts vary across free runs; replay
+// must reproduce them exactly (§4.1.3 "Replaying read").
+func partialReadApp(payload []byte, counts *[]int, data *bytes.Buffer) twoVMApp {
+	return twoVMApp{
+		server: func(e *Env, main *core.Thread, ready chan<- uint16) {
+			ss, err := e.Listen(main, 0)
+			if err != nil {
+				panic(err)
+			}
+			ready <- ss.Port()
+			conn, err := ss.Accept(main)
+			if err != nil {
+				panic(err)
+			}
+			for i := 0; i < len(payload); i += 16 {
+				end := i + 16
+				if end > len(payload) {
+					end = len(payload)
+				}
+				if _, err := conn.Write(main, payload[i:end]); err != nil {
+					panic(err)
+				}
+			}
+			conn.Close(main)
+		},
+		client: func(e *Env, main *core.Thread, port uint16) {
+			conn, err := e.Connect(main, netsim.Addr{Host: "server", Port: port})
+			if err != nil {
+				panic(err)
+			}
+			buf := make([]byte, 13)
+			for {
+				n, err := conn.Read(main, buf)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					panic(err)
+				}
+				*counts = append(*counts, n)
+				data.Write(buf[:n])
+			}
+			conn.Close(main)
+		},
+	}
+}
+
+func TestPartialReadsReplayExactByteCounts(t *testing.T) {
+	payload := make([]byte, 500)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	var recCounts, repCounts []int
+	var recData, repData bytes.Buffer
+
+	recS, recC := runTwoVMs(t, partialReadApp(payload, &recCounts, &recData), ids.Record, 11, nil, nil)
+	if !bytes.Equal(recData.Bytes(), payload) {
+		t.Fatalf("record-phase client read wrong data")
+	}
+	runTwoVMs(t, partialReadApp(payload, &repCounts, &repData), ids.Replay, 2222, recS.Logs(), recC.Logs())
+
+	if !bytes.Equal(repData.Bytes(), payload) {
+		t.Fatalf("replay-phase client read wrong data")
+	}
+	if len(recCounts) != len(repCounts) {
+		t.Fatalf("read-count sequences differ in length: record %d, replay %d", len(recCounts), len(repCounts))
+	}
+	for i := range recCounts {
+		if recCounts[i] != repCounts[i] {
+			t.Fatalf("read %d returned %d bytes during replay, %d during record", i, repCounts[i], recCounts[i])
+		}
+	}
+}
+
+// overlappingWritesApp is the Figure 3 scenario: several threads write to the
+// same socket concurrently. The FD-critical section plus the GC-critical
+// section make each write atomic and totally ordered, so the byte stream the
+// reader sees is exactly reproducible.
+func overlappingWritesApp(nWriters, msgsPerWriter int, stream *bytes.Buffer) twoVMApp {
+	msgLen := 8
+	total := nWriters * msgsPerWriter * msgLen
+	return twoVMApp{
+		client: func(e *Env, main *core.Thread, port uint16) {
+			conn, err := e.Connect(main, netsim.Addr{Host: "server", Port: port})
+			if err != nil {
+				panic(err)
+			}
+			done := make(chan struct{}, nWriters)
+			for w := 0; w < nWriters; w++ {
+				w := w
+				main.Spawn(func(th *core.Thread) {
+					defer func() { done <- struct{}{} }()
+					for m := 0; m < msgsPerWriter; m++ {
+						msg := fmt.Sprintf("w%02dm%04d", w, m)
+						if _, err := conn.Write(th, []byte(msg)); err != nil {
+							panic(err)
+						}
+					}
+				})
+			}
+			for w := 0; w < nWriters; w++ {
+				<-done
+			}
+			conn.Close(main)
+		},
+		server: func(e *Env, main *core.Thread, ready chan<- uint16) {
+			ss, err := e.Listen(main, 0)
+			if err != nil {
+				panic(err)
+			}
+			ready <- ss.Port()
+			conn, err := ss.Accept(main)
+			if err != nil {
+				panic(err)
+			}
+			buf := make([]byte, total)
+			if err := conn.ReadFull(main, buf); err != nil {
+				panic(err)
+			}
+			stream.Write(buf)
+			conn.Close(main)
+		},
+	}
+}
+
+func TestOverlappingWritesReplayIdenticalStream(t *testing.T) {
+	var recStream, repStream bytes.Buffer
+	recS, recC := runTwoVMs(t, overlappingWritesApp(4, 25, &recStream), ids.Record, 17, nil, nil)
+	runTwoVMs(t, overlappingWritesApp(4, 25, &repStream), ids.Replay, 7777, recS.Logs(), recC.Logs())
+
+	if !bytes.Equal(recStream.Bytes(), repStream.Bytes()) {
+		t.Fatalf("interleaved write stream differs between record and replay:\nrecord: %q\nreplay: %q",
+			recStream.String()[:80], repStream.String()[:80])
+	}
+	// Message atomicity: every 8-byte frame of the record stream must be a
+	// well-formed message (writes never tear).
+	b := recStream.Bytes()
+	for i := 0; i+8 <= len(b); i += 8 {
+		if b[i] != 'w' || b[i+3] != 'm' {
+			t.Fatalf("torn write at offset %d: %q", i, b[i:i+8])
+		}
+	}
+}
+
+func TestOverlappingWriteStreamsVaryAcrossFreeRuns(t *testing.T) {
+	seen := map[string]bool{}
+	for run := 0; run < 10; run++ {
+		var stream bytes.Buffer
+		runTwoVMs(t, overlappingWritesApp(4, 25, &stream), ids.Record, int64(100+run), nil, nil)
+		seen[stream.String()] = true
+		if len(seen) >= 2 {
+			return
+		}
+	}
+	t.Skip("write interleaving identical across 10 free runs")
+}
+
+// availableApp polls available() before reading; the recorded count gates the
+// replay-phase event.
+func availableApp(avails *[]int) twoVMApp {
+	return twoVMApp{
+		server: func(e *Env, main *core.Thread, ready chan<- uint16) {
+			ss, err := e.Listen(main, 0)
+			if err != nil {
+				panic(err)
+			}
+			ready <- ss.Port()
+			conn, err := ss.Accept(main)
+			if err != nil {
+				panic(err)
+			}
+			for i := 0; i < 20; i++ {
+				if _, err := conn.Write(main, bytes.Repeat([]byte{byte(i)}, 10)); err != nil {
+					panic(err)
+				}
+			}
+			conn.Close(main)
+		},
+		client: func(e *Env, main *core.Thread, port uint16) {
+			conn, err := e.Connect(main, netsim.Addr{Host: "server", Port: port})
+			if err != nil {
+				panic(err)
+			}
+			got := 0
+			buf := make([]byte, 64)
+			for got < 200 {
+				n, err := conn.Available(main)
+				if err != nil {
+					panic(err)
+				}
+				*avails = append(*avails, n)
+				if n == 0 {
+					// Fall back to a blocking read of at least one byte.
+					r, err := conn.Read(main, buf[:1])
+					if err != nil {
+						panic(err)
+					}
+					got += r
+					continue
+				}
+				if n > len(buf) {
+					n = len(buf)
+				}
+				if err := conn.ReadFull(main, buf[:n]); err != nil {
+					panic(err)
+				}
+				got += n
+			}
+			conn.Close(main)
+		},
+	}
+}
+
+func TestAvailableReplaysRecordedCounts(t *testing.T) {
+	var recAvails, repAvails []int
+	recS, recC := runTwoVMs(t, availableApp(&recAvails), ids.Record, 23, nil, nil)
+	runTwoVMs(t, availableApp(&repAvails), ids.Replay, 8888, recS.Logs(), recC.Logs())
+
+	if len(recAvails) != len(repAvails) {
+		t.Fatalf("available() call counts differ: record %d, replay %d", len(recAvails), len(repAvails))
+	}
+	for i := range recAvails {
+		if recAvails[i] != repAvails[i] {
+			t.Fatalf("available() call %d returned %d during replay, %d during record",
+				i, repAvails[i], recAvails[i])
+		}
+	}
+}
+
+func TestListenEphemeralPortReplayed(t *testing.T) {
+	app := func(port *uint16) twoVMApp {
+		return twoVMApp{
+			server: func(e *Env, main *core.Thread, ready chan<- uint16) {
+				ss, err := e.Listen(main, 0)
+				if err != nil {
+					panic(err)
+				}
+				*port = ss.Port()
+				ready <- ss.Port()
+				conn, err := ss.Accept(main)
+				if err != nil {
+					panic(err)
+				}
+				conn.Close(main)
+			},
+			client: func(e *Env, main *core.Thread, port uint16) {
+				conn, err := e.Connect(main, netsim.Addr{Host: "server", Port: port})
+				if err != nil {
+					panic(err)
+				}
+				conn.Close(main)
+			},
+		}
+	}
+	var recPort, repPort uint16
+	recS, recC := runTwoVMs(t, app(&recPort), ids.Record, 31, nil, nil)
+	runTwoVMs(t, app(&repPort), ids.Replay, 9999, recS.Logs(), recC.Logs())
+	if recPort != repPort {
+		t.Errorf("ephemeral listen port %d during replay, %d during record", repPort, recPort)
+	}
+}

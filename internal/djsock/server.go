@@ -1,0 +1,359 @@
+package djsock
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/tracelog"
+)
+
+// ServerSocket is the DJVM wrapper of a listening socket (java.net
+// ServerSocket). Creating one maps the Java-side create/bind/listen sequence
+// to a single listen network event whose observable result — the bound local
+// port — is recorded and re-established during replay (§4.1.3 "Replaying
+// available and bind").
+type ServerSocket struct {
+	env  *Env
+	l    *netsim.Listener // nil for an open-world replay server socket
+	port uint16
+
+	// pool buffers connections that arrived out of order during replay until
+	// the accept event expecting them executes (§4.1.3 "connection pool").
+	pool map[ids.ConnectionID]*netsim.Stream
+}
+
+// Listen creates a server socket bound to port on the VM's host (port 0
+// picks an ephemeral port — whose identity is recorded, so replay binds to
+// the same port). It is one network critical event.
+func (e *Env) Listen(t *core.Thread, port uint16) (*ServerSocket, error) {
+	if e.vm.Mode() == ids.Passthrough {
+		l, err := e.net.Listen(e.host, port)
+		if err != nil {
+			return nil, err
+		}
+		return &ServerSocket{env: e, l: l, port: l.Addr().Port}, nil
+	}
+
+	eventID := t.EventID(t.NextEventNum())
+	t.CountNetworkEvent()
+
+	switch e.vm.Mode() {
+	case ids.Record:
+		var (
+			l   *netsim.Listener
+			err error
+		)
+		t.Critical(func(ids.GCount) {
+			l, err = e.net.Listen(e.host, port)
+			if err != nil {
+				e.logNetErr(eventID, "listen", err)
+				return
+			}
+			e.vm.Logs().Network.Append(&tracelog.BindEntry{
+				EventID: eventID,
+				Port:    l.Addr().Port,
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &ServerSocket{env: e, l: l, port: l.Addr().Port}, nil
+
+	default: // ids.Replay
+		if rerr, ok := e.replayErr(eventID); ok {
+			t.Critical(func(ids.GCount) {})
+			return nil, rerr
+		}
+		entry, ok := e.vm.NetworkIndex().Binds[eventID]
+		if !ok {
+			return nil, divergef("listen event %v has no recorded bind", eventID)
+		}
+		if e.vm.World() == ids.OpenWorld {
+			// Open-world replay touches no real network (§5).
+			t.Critical(func(ids.GCount) {})
+			return &ServerSocket{env: e, port: entry.Port}, nil
+		}
+		var (
+			l   *netsim.Listener
+			err error
+		)
+		t.Critical(func(ids.GCount) {
+			l, err = e.net.Listen(e.host, entry.Port)
+		})
+		if err != nil {
+			return nil, divergef("listen on recorded port %d failed: %v", entry.Port, err)
+		}
+		return &ServerSocket{env: e, l: l, port: entry.Port}, nil
+	}
+}
+
+// Port reports the server socket's bound local port.
+func (s *ServerSocket) Port() uint16 { return s.port }
+
+// Backlog reports how many established connections are waiting to be
+// accepted (0 for an open-world replay server socket).
+func (s *ServerSocket) Backlog() int {
+	if s.l == nil {
+		return 0
+	}
+	return s.l.Backlog()
+}
+
+// Accept waits for and returns the next connection.
+//
+// Record phase (closed scheme): the OS-level accept proceeds outside the
+// GC-critical section; the server then receives the client's connectionId as
+// the connection's first meta data, logs the ServerSocketEntry
+// ⟨serverId, clientId⟩, and marks the event (§4.1.3).
+//
+// Replay phase (closed scheme): the accept's networkEventId selects the
+// recorded connectionId from the NetworkLogFile; the connection pool is
+// consulted first, and newly arriving connections are buffered there until
+// the one carrying the matching connectionId arrives (§4.1.3, Figure 2).
+//
+// Open scheme (non-DJVM peer): the remote endpoint is recorded at accept
+// time; replay synthesizes the connection entirely from the log (§5).
+func (s *ServerSocket) Accept(t *core.Thread) (*Socket, error) {
+	e := s.env
+	if e.vm.Mode() == ids.Passthrough {
+		conn, err := s.l.Accept()
+		if err != nil {
+			return nil, err
+		}
+		return newSocket(e, conn, true), nil
+	}
+
+	eventID := t.EventID(t.NextEventNum())
+	t.CountNetworkEvent()
+
+	if e.vm.Mode() == ids.Record {
+		return s.acceptRecord(t, eventID)
+	}
+	return s.acceptReplay(t, eventID)
+}
+
+func (s *ServerSocket) acceptRecord(t *core.Thread, eventID ids.NetworkEventID) (*Socket, error) {
+	e := s.env
+	var (
+		conn     *netsim.Stream
+		err      error
+		clientID ids.ConnectionID
+		closedSc bool
+	)
+	t.Blocking(func() {
+		conn, err = s.l.Accept()
+		if err != nil {
+			return
+		}
+		closedSc = e.closedSchemeTo(conn.RemoteAddr().Host)
+		if closedSc {
+			meta := make([]byte, metaLen)
+			if err = readFull(conn, meta); err != nil {
+				err = fmt.Errorf("accept: reading connection meta data: %w", err)
+				return
+			}
+			clientID = decodeMeta(meta)
+		}
+	}, func(ids.GCount) {
+		switch {
+		case err != nil:
+			e.logNetErr(eventID, "accept", err)
+		case closedSc:
+			e.vm.Logs().Network.Append(&tracelog.ServerSocketEntry{
+				ServerID: eventID,
+				ClientID: clientID,
+			})
+		default:
+			remote := conn.RemoteAddr()
+			e.vm.Logs().Network.Append(&tracelog.OpenAcceptEntry{
+				EventID:    eventID,
+				RemoteHost: remote.Host,
+				RemotePort: remote.Port,
+			})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newSocket(e, conn, closedSc), nil
+}
+
+func (s *ServerSocket) acceptReplay(t *core.Thread, eventID ids.NetworkEventID) (*Socket, error) {
+	e := s.env
+	if rerr, ok := e.replayErr(eventID); ok {
+		t.Critical(func(ids.GCount) {})
+		return nil, rerr
+	}
+
+	if entry, ok := e.vm.NetworkIndex().OpenAccepts[eventID]; ok {
+		// The record-phase peer was not a DJVM: synthesize the connection
+		// from the log; no network activity (§5).
+		t.Critical(func(ids.GCount) {})
+		return newOpenReplaySocket(e,
+			netsim.Addr{Host: e.host, Port: s.port},
+			netsim.Addr{Host: entry.RemoteHost, Port: entry.RemotePort},
+		), nil
+	}
+
+	want, ok := e.vm.NetworkIndex().ServerSockets[eventID]
+	if !ok {
+		// The record phase logged nothing for this event: it never happened,
+		// so it owns no schedule slot — fail without consuming one.
+		return nil, divergef("accept event %v has no recorded connection", eventID)
+	}
+
+	var (
+		conn *netsim.Stream
+		err  error
+	)
+	t.Blocking(func() {
+		if s.pool == nil {
+			s.pool = make(map[ids.ConnectionID]*netsim.Stream)
+		}
+		if c, hit := s.pool[want]; hit {
+			delete(s.pool, want)
+			conn = c
+			return
+		}
+		for {
+			var c *netsim.Stream
+			c, err = s.l.Accept()
+			if err != nil {
+				err = divergef("accept waiting for %v: %v", want, err)
+				return
+			}
+			meta := make([]byte, metaLen)
+			if err = readFull(c, meta); err != nil {
+				err = divergef("accept waiting for %v: reading meta data: %v", want, err)
+				return
+			}
+			id := decodeMeta(meta)
+			if id == want {
+				conn = c
+				return
+			}
+			// Out-of-order connection: buffer it for the accept event that
+			// recorded it.
+			s.pool[id] = c
+		}
+	}, func(ids.GCount) {})
+	if err != nil {
+		return nil, err
+	}
+	return newSocket(e, conn, true), nil
+}
+
+// AcceptTimeout is Accept with an SO_TIMEOUT-style deadline. A record-phase
+// timeout is an error outcome like any other — logged and re-thrown during
+// replay without waiting out the deadline (timeouts are elided, so replay
+// runs faster than real time). A record-phase success replays through the
+// regular connection-pool path.
+//
+// Note that whether a timeout or a connection wins the race is itself
+// nondeterministic; the recorded outcome is what replays, which is exactly
+// the §4.1.2 "variable network delays" discipline applied to the deadline.
+func (s *ServerSocket) AcceptTimeout(t *core.Thread, d time.Duration) (*Socket, error) {
+	e := s.env
+	if e.vm.Mode() == ids.Passthrough {
+		conn, err := s.l.AcceptTimeout(d)
+		if err != nil {
+			return nil, err
+		}
+		return newSocket(e, conn, true), nil
+	}
+
+	eventID := t.EventID(t.NextEventNum())
+	t.CountNetworkEvent()
+
+	if e.vm.Mode() == ids.Record {
+		var (
+			conn     *netsim.Stream
+			err      error
+			clientID ids.ConnectionID
+			closedSc bool
+		)
+		t.Blocking(func() {
+			conn, err = s.l.AcceptTimeout(d)
+			if err != nil {
+				return
+			}
+			closedSc = e.closedSchemeTo(conn.RemoteAddr().Host)
+			if closedSc {
+				meta := make([]byte, metaLen)
+				if err = readFull(conn, meta); err != nil {
+					err = fmt.Errorf("accept: reading connection meta data: %w", err)
+					return
+				}
+				clientID = decodeMeta(meta)
+			}
+		}, func(ids.GCount) {
+			switch {
+			case err != nil:
+				e.logNetErr(eventID, "accept", err)
+			case closedSc:
+				e.vm.Logs().Network.Append(&tracelog.ServerSocketEntry{
+					ServerID: eventID,
+					ClientID: clientID,
+				})
+			default:
+				remote := conn.RemoteAddr()
+				e.vm.Logs().Network.Append(&tracelog.OpenAcceptEntry{
+					EventID:    eventID,
+					RemoteHost: remote.Host,
+					RemotePort: remote.Port,
+				})
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		return newSocket(e, conn, closedSc), nil
+	}
+	// Replay: a recorded timeout re-throws via the error path inside
+	// acceptReplay; a recorded success replays through the connection pool.
+	// The deadline itself is not re-armed.
+	return s.acceptReplay(t, eventID)
+}
+
+// PooledConnections reports how many out-of-order connections the replay
+// connection pool is currently buffering.
+func (s *ServerSocket) PooledConnections() int {
+	return len(s.pool)
+}
+
+// Close shuts the server socket down. It is a non-blocking network critical
+// event handled like a shared-variable update (§4.1.3 "Other stream socket
+// events").
+func (s *ServerSocket) Close(t *core.Thread) error {
+	e := s.env
+	if e.vm.Mode() == ids.Passthrough {
+		return s.l.Close()
+	}
+	eventID := t.EventID(t.NextEventNum())
+	t.CountNetworkEvent()
+	var err error
+	if rerr, ok := replayErrIfReplaying(e, eventID); ok {
+		t.Critical(func(ids.GCount) {})
+		return rerr
+	}
+	t.Critical(func(ids.GCount) {
+		if s.l != nil {
+			err = s.l.Close()
+		}
+		if err != nil && e.vm.Mode() == ids.Record {
+			e.logNetErr(eventID, "close", err)
+		}
+	})
+	return err
+}
+
+// replayErrIfReplaying checks for a recorded error when in replay mode.
+func replayErrIfReplaying(e *Env, eventID ids.NetworkEventID) (error, bool) {
+	if e.vm.Mode() != ids.Replay {
+		return nil, false
+	}
+	return e.replayErr(eventID)
+}

@@ -1,0 +1,138 @@
+// Package ids defines the identity and event-id model shared by every DJVM
+// subsystem. It mirrors the identifiers of the paper "Deterministic Replay of
+// Distributed Java Applications" (IPPS 2000):
+//
+//   - DJVMID: the unique identity assigned to each DJVM instance during the
+//     record phase, logged and reused during replay (§4.1.3).
+//   - ThreadNum: the creation-order number of a thread within one DJVM.
+//     Because threads are created in the same order in the record and replay
+//     phases, a thread has the same ThreadNum in both phases.
+//   - EventNum: the per-thread sequence number of a network event. Events are
+//     sequentially ordered within a thread, so the EventNum of a particular
+//     network event is the same in record and replay.
+//   - NetworkEventID ⟨threadNum, eventNum⟩: identifies a network event within
+//     a DJVM.
+//   - ConnectionID ⟨dJVMId, threadNum, eventNum⟩: identifies a connection
+//     request generated at a connect network event. The paper uses
+//     ⟨dJVMId, threadNum⟩; we additionally carry the connect's EventNum so
+//     that two in-flight connections from the same thread are distinguishable
+//     (see DESIGN.md §1, "Deliberate deviation").
+//   - DGNetworkEventID ⟨dJVMId, dJVMgc⟩: identifies a UDP datagram by the
+//     sender DJVM and the sender's global-counter value at the send event
+//     (§4.2.2).
+package ids
+
+import "fmt"
+
+// DJVMID is the unique identity of one DJVM instance. IDs are assigned by the
+// network/config layer during the record phase and must be reused during the
+// replay phase.
+type DJVMID uint32
+
+// ThreadNum is the creation-order index of a thread within a single DJVM.
+// The main thread of a VM is thread 0.
+type ThreadNum uint32
+
+// EventNum is the per-thread sequence number of a network event.
+type EventNum uint32
+
+// GCount is a global-counter (logical clock) value within one DJVM. The
+// counter ticks once per critical event, uniquely identifying each critical
+// event of that VM (§2.2). It is global within a particular DJVM, not across
+// the network.
+type GCount uint64
+
+// NetworkEventID identifies a network event within a specific DJVM as the
+// tuple ⟨threadNum, eventNum⟩ (§4.1.3).
+type NetworkEventID struct {
+	Thread ThreadNum
+	Event  EventNum
+}
+
+func (id NetworkEventID) String() string {
+	return fmt.Sprintf("nev⟨t%d,e%d⟩", id.Thread, id.Event)
+}
+
+// ConnectionID identifies a connection request generated at a connect network
+// event: the DJVM issuing the connect, the thread performing it, and the
+// connect's per-thread event number.
+type ConnectionID struct {
+	VM     DJVMID
+	Thread ThreadNum
+	Event  EventNum
+}
+
+func (id ConnectionID) String() string {
+	return fmt.Sprintf("conn⟨vm%d,t%d,e%d⟩", id.VM, id.Thread, id.Event)
+}
+
+// DGNetworkEventID uniquely identifies one application datagram as the pair
+// ⟨sender DJVM id, sender global counter at the send event⟩ (§4.2.2).
+type DGNetworkEventID struct {
+	VM DJVMID
+	GC GCount
+}
+
+func (id DGNetworkEventID) String() string {
+	return fmt.Sprintf("dg⟨vm%d,gc%d⟩", id.VM, id.GC)
+}
+
+// World is the deployment configuration of a distributed application with
+// respect to how many of its components run on DJVMs (§1, §5).
+type World uint8
+
+const (
+	// ClosedWorld: all JVMs running the application are DJVMs. Network
+	// interactions are replayed cooperatively via meta-data exchange and the
+	// per-VM logs (§4).
+	ClosedWorld World = iota
+	// OpenWorld: only this JVM is a DJVM. Network events are handled as
+	// general I/O: input contents are fully recorded and replay never touches
+	// the real network (§5).
+	OpenWorld
+	// MixedWorld: some peers are DJVMs and some are not. Communication with
+	// DJVM peers uses the closed-world scheme; communication with non-DJVM
+	// peers records full state as in the open world (§5).
+	MixedWorld
+)
+
+func (w World) String() string {
+	switch w {
+	case ClosedWorld:
+		return "closed"
+	case OpenWorld:
+		return "open"
+	case MixedWorld:
+		return "mixed"
+	default:
+		return fmt.Sprintf("world(%d)", uint8(w))
+	}
+}
+
+// Mode distinguishes the two execution modes of a DJVM (§1).
+type Mode uint8
+
+const (
+	// Record mode: the tool records the logical thread schedule and the
+	// network interaction information while the program runs.
+	Record Mode = iota
+	// Replay mode: the tool reproduces the execution behavior by enforcing
+	// the recorded logical thread schedule and network interactions.
+	Replay
+	// Passthrough runs the application with no recording and no enforcement;
+	// used as the baseline for overhead measurements (the "plain JVM").
+	Passthrough
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Record:
+		return "record"
+	case Replay:
+		return "replay"
+	case Passthrough:
+		return "passthrough"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}

@@ -1,0 +1,42 @@
+package ids
+
+import "testing"
+
+func TestStringRenderings(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{NetworkEventID{Thread: 3, Event: 7}.String(), "nev⟨t3,e7⟩"},
+		{ConnectionID{VM: 1, Thread: 2, Event: 3}.String(), "conn⟨vm1,t2,e3⟩"},
+		{DGNetworkEventID{VM: 4, GC: 99}.String(), "dg⟨vm4,gc99⟩"},
+		{ClosedWorld.String(), "closed"},
+		{OpenWorld.String(), "open"},
+		{MixedWorld.String(), "mixed"},
+		{World(9).String(), "world(9)"},
+		{Record.String(), "record"},
+		{Replay.String(), "replay"},
+		{Passthrough.String(), "passthrough"},
+		{Mode(9).String(), "mode(9)"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestIDComparability(t *testing.T) {
+	// The replay layers key maps by these identities; equality must be
+	// structural.
+	a := ConnectionID{VM: 1, Thread: 2, Event: 3}
+	b := ConnectionID{VM: 1, Thread: 2, Event: 3}
+	if a != b {
+		t.Error("identical ConnectionIDs not equal")
+	}
+	if (NetworkEventID{Thread: 1, Event: 2}) == (NetworkEventID{Thread: 2, Event: 1}) {
+		t.Error("distinct NetworkEventIDs equal")
+	}
+	if (DGNetworkEventID{VM: 1, GC: 2}) == (DGNetworkEventID{VM: 2, GC: 1}) {
+		t.Error("distinct DGNetworkEventIDs equal")
+	}
+}

@@ -1,0 +1,185 @@
+package logcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ids"
+	"repro/internal/tracelog"
+)
+
+// DiffReport lists the differences between two log sets, most significant
+// first, capped so a wildly different pair stays readable.
+type DiffReport struct {
+	Lines []string
+}
+
+// Same reports whether no differences were found.
+func (d *DiffReport) Same() bool { return len(d.Lines) == 0 }
+
+const diffCap = 50
+
+func (d *DiffReport) addf(format string, args ...any) {
+	if len(d.Lines) < diffCap {
+		d.Lines = append(d.Lines, fmt.Sprintf(format, args...))
+	}
+}
+
+// Diff compares two recorded log sets — two recordings of "the same"
+// program, or a recording against a re-recording after a fix — and reports
+// where their schedules and network interactions depart. The first schedule
+// difference is usually the root interleaving change; everything after it
+// tends to be fallout.
+func Diff(a, b *tracelog.Set) (*DiffReport, error) {
+	rep := &DiffReport{}
+	sa, err := tracelog.BuildScheduleIndex(a.Schedule)
+	if err != nil {
+		return nil, fmt.Errorf("logcheck: diff: left schedule: %w", err)
+	}
+	sb, err := tracelog.BuildScheduleIndex(b.Schedule)
+	if err != nil {
+		return nil, fmt.Errorf("logcheck: diff: right schedule: %w", err)
+	}
+
+	if sa.Meta.VM != sb.Meta.VM {
+		rep.addf("vm id: %d vs %d", sa.Meta.VM, sb.Meta.VM)
+	}
+	if sa.Meta.World != sb.Meta.World {
+		rep.addf("world: %v vs %v", sa.Meta.World, sb.Meta.World)
+	}
+	if sa.Meta.Threads != sb.Meta.Threads {
+		rep.addf("thread count: %d vs %d", sa.Meta.Threads, sb.Meta.Threads)
+	}
+	if sa.Meta.FinalGC != sb.Meta.FinalGC {
+		rep.addf("final counter: %d vs %d", sa.Meta.FinalGC, sb.Meta.FinalGC)
+	}
+
+	diffSchedules(rep, sa, sb)
+	if err := diffNetwork(rep, a, b); err != nil {
+		return nil, err
+	}
+	if err := diffDatagram(rep, a, b); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// diffSchedules reports, per thread, the first interval where the two
+// logical schedules depart.
+func diffSchedules(rep *DiffReport, a, b *tracelog.ScheduleIndex) {
+	threads := map[ids.ThreadNum]bool{}
+	for tn := range a.Intervals {
+		threads[tn] = true
+	}
+	for tn := range b.Intervals {
+		threads[tn] = true
+	}
+	ordered := make([]ids.ThreadNum, 0, len(threads))
+	for tn := range threads {
+		ordered = append(ordered, tn)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+
+	for _, tn := range ordered {
+		ia, ib := a.Intervals[tn], b.Intervals[tn]
+		n := min(len(ia), len(ib))
+		diverged := false
+		for i := 0; i < n; i++ {
+			if ia[i] != ib[i] {
+				rep.addf("thread %d: schedules depart at interval %d: [%d,%d] vs [%d,%d]",
+					tn, i, ia[i].First, ia[i].Last, ib[i].First, ib[i].Last)
+				diverged = true
+				break
+			}
+		}
+		if !diverged && len(ia) != len(ib) {
+			rep.addf("thread %d: %d vs %d schedule intervals (common prefix identical)",
+				tn, len(ia), len(ib))
+		}
+	}
+}
+
+// diffNetwork compares the keyed network-log records.
+func diffNetwork(rep *DiffReport, a, b *tracelog.Set) error {
+	na, err := tracelog.BuildNetworkIndex(a.Network)
+	if err != nil {
+		return fmt.Errorf("logcheck: diff: left network log: %w", err)
+	}
+	nb, err := tracelog.BuildNetworkIndex(b.Network)
+	if err != nil {
+		return fmt.Errorf("logcheck: diff: right network log: %w", err)
+	}
+
+	diffKeyed(rep, "accept", keysOf(na.ServerSockets), keysOf(nb.ServerSockets), func(ev ids.NetworkEventID) bool {
+		return na.ServerSockets[ev] == nb.ServerSockets[ev]
+	})
+	diffKeyed(rep, "read", keysOf(na.Reads), keysOf(nb.Reads), func(ev ids.NetworkEventID) bool {
+		return na.Reads[ev] == nb.Reads[ev]
+	})
+	diffKeyed(rep, "available", keysOf(na.Availables), keysOf(nb.Availables), func(ev ids.NetworkEventID) bool {
+		return na.Availables[ev] == nb.Availables[ev]
+	})
+	diffKeyed(rep, "bind", keysOf(na.Binds), keysOf(nb.Binds), func(ev ids.NetworkEventID) bool {
+		return na.Binds[ev] == nb.Binds[ev]
+	})
+	diffKeyed(rep, "net-err", keysOf(na.Errs), keysOf(nb.Errs), func(ev ids.NetworkEventID) bool {
+		return na.Errs[ev] == nb.Errs[ev]
+	})
+	diffKeyed(rep, "env", keysOf(na.Envs), keysOf(nb.Envs), func(ev ids.NetworkEventID) bool {
+		return na.Envs[ev] == nb.Envs[ev]
+	})
+	return nil
+}
+
+func diffDatagram(rep *DiffReport, a, b *tracelog.Set) error {
+	da, err := tracelog.BuildDatagramIndex(a.Datagram)
+	if err != nil {
+		return fmt.Errorf("logcheck: diff: left datagram log: %w", err)
+	}
+	db, err := tracelog.BuildDatagramIndex(b.Datagram)
+	if err != nil {
+		return fmt.Errorf("logcheck: diff: right datagram log: %w", err)
+	}
+	diffKeyed(rep, "datagram-recv", keysOf(da.ByEvent), keysOf(db.ByEvent), func(ev ids.NetworkEventID) bool {
+		return da.ByEvent[ev].Datagram == db.ByEvent[ev].Datagram
+	})
+	return nil
+}
+
+func keysOf[V any](m map[ids.NetworkEventID]V) map[ids.NetworkEventID]bool {
+	out := make(map[ids.NetworkEventID]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// diffKeyed compares two keyed record families: keys only on one side, and
+// shared keys whose values differ.
+func diffKeyed(rep *DiffReport, what string, ka, kb map[ids.NetworkEventID]bool, equal func(ids.NetworkEventID) bool) {
+	var union []ids.NetworkEventID
+	for k := range ka {
+		union = append(union, k)
+	}
+	for k := range kb {
+		if !ka[k] {
+			union = append(union, k)
+		}
+	}
+	sort.Slice(union, func(i, j int) bool {
+		if union[i].Thread != union[j].Thread {
+			return union[i].Thread < union[j].Thread
+		}
+		return union[i].Event < union[j].Event
+	})
+	for _, k := range union {
+		switch {
+		case !ka[k]:
+			rep.addf("%s %v: only in right log", what, k)
+		case !kb[k]:
+			rep.addf("%s %v: only in left log", what, k)
+		case !equal(k):
+			rep.addf("%s %v: values differ", what, k)
+		}
+	}
+}

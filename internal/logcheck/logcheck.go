@@ -1,0 +1,240 @@
+// Package logcheck validates DJVM log sets before replay — an fsck for the
+// record phase. A truncated, corrupted, or mismatched log would otherwise
+// surface as a replay deadlock or divergence deep into execution; the
+// checker turns those into upfront diagnostics.
+//
+// Single-VM checks validate the internal consistency of one log set; the
+// cross-VM checks validate a closed world's worth of log sets against each
+// other (every connection and datagram a receiver recorded must name a
+// sender that exists and a counter value that sender actually reached).
+package logcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ids"
+	"repro/internal/tracelog"
+)
+
+// Finding is one problem discovered in a log set.
+type Finding struct {
+	VM  ids.DJVMID
+	Msg string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("vm %d: %s", f.VM, f.Msg)
+}
+
+// Report is the outcome of a check run.
+type Report struct {
+	Findings []Finding
+}
+
+// OK reports whether no problems were found.
+func (r *Report) OK() bool { return len(r.Findings) == 0 }
+
+func (r *Report) addf(vm ids.DJVMID, format string, args ...any) {
+	r.Findings = append(r.Findings, Finding{VM: vm, Msg: fmt.Sprintf(format, args...)})
+}
+
+// CheckSet validates the internal consistency of one VM's log set.
+func CheckSet(set *tracelog.Set) *Report {
+	rep := &Report{}
+	sched, err := tracelog.BuildScheduleIndex(set.Schedule)
+	if err != nil {
+		rep.addf(0, "schedule log unusable: %v", err)
+		return rep
+	}
+	vm := sched.Meta.VM
+	checkSchedule(rep, vm, sched)
+
+	netIdx, err := tracelog.BuildNetworkIndex(set.Network)
+	if err != nil {
+		rep.addf(vm, "network log unusable: %v", err)
+	} else {
+		checkNetwork(rep, vm, sched, netIdx)
+	}
+
+	dgIdx, err := tracelog.BuildDatagramIndex(set.Datagram)
+	if err != nil {
+		rep.addf(vm, "datagram log unusable: %v", err)
+	} else {
+		checkDatagram(rep, vm, sched, dgIdx)
+	}
+	return rep
+}
+
+// checkSchedule verifies the logical schedule intervals partition exactly
+// the counter range [0, FinalGC).
+func checkSchedule(rep *Report, vm ids.DJVMID, sched *tracelog.ScheduleIndex) {
+	type span struct {
+		iv     tracelog.Interval
+		thread ids.ThreadNum
+	}
+	var spans []span
+	for tn, ivs := range sched.Intervals {
+		if uint32(tn) >= sched.Meta.Threads {
+			rep.addf(vm, "schedule has intervals for thread %d but meta records %d threads", tn, sched.Meta.Threads)
+		}
+		for _, iv := range ivs {
+			spans = append(spans, span{iv: iv, thread: tn})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].iv.First < spans[j].iv.First })
+	next := ids.GCount(0)
+	for _, s := range spans {
+		switch {
+		case s.iv.First < next:
+			rep.addf(vm, "interval [%d,%d] of thread %d overlaps counter %d", s.iv.First, s.iv.Last, s.thread, next-1)
+		case s.iv.First > next:
+			rep.addf(vm, "schedule gap: counters [%d,%d] covered by no interval", next, s.iv.First-1)
+		}
+		if s.iv.Last+1 > next {
+			next = s.iv.Last + 1
+		}
+	}
+	if next != sched.Meta.FinalGC {
+		rep.addf(vm, "intervals cover counters up to %d but final counter is %d", next, sched.Meta.FinalGC)
+	}
+	for gc, woken := range sched.Notifies {
+		if gc >= sched.Meta.FinalGC {
+			rep.addf(vm, "notify record at counter %d beyond final counter %d", gc, sched.Meta.FinalGC)
+		}
+		for _, tn := range woken {
+			if uint32(tn) >= sched.Meta.Threads {
+				rep.addf(vm, "notify at counter %d wakes unknown thread %d", gc, tn)
+			}
+		}
+	}
+	for gc := range sched.TimedWaits {
+		if gc >= sched.Meta.FinalGC {
+			rep.addf(vm, "timed-wait record at counter %d beyond final counter %d", gc, sched.Meta.FinalGC)
+		}
+	}
+	var lastCP ids.GCount
+	for i, cp := range sched.Checkpoints {
+		if cp.GC >= sched.Meta.FinalGC {
+			rep.addf(vm, "checkpoint at counter %d beyond final counter %d", cp.GC, sched.Meta.FinalGC)
+		}
+		if i > 0 && cp.GC <= lastCP {
+			rep.addf(vm, "checkpoints out of order at counter %d", cp.GC)
+		}
+		lastCP = cp.GC
+		if uint32(cp.TakerThread) >= sched.Meta.Threads {
+			rep.addf(vm, "checkpoint taken by unknown thread %d", cp.TakerThread)
+		}
+	}
+}
+
+// checkNetwork verifies network-log records reference threads that exist
+// and carry sane values.
+func checkNetwork(rep *Report, vm ids.DJVMID, sched *tracelog.ScheduleIndex, idx *tracelog.NetworkIndex) {
+	threadOK := func(ev ids.NetworkEventID, what string) {
+		if uint32(ev.Thread) >= sched.Meta.Threads {
+			rep.addf(vm, "%s record for unknown thread %d", what, ev.Thread)
+		}
+	}
+	for ev, cid := range idx.ServerSockets {
+		threadOK(ev, "server-socket")
+		if cid.VM == vm {
+			rep.addf(vm, "accept %v records a connection from this same VM (%v)", ev, cid)
+		}
+	}
+	for ev := range idx.Reads {
+		threadOK(ev, "read")
+	}
+	for ev := range idx.Availables {
+		threadOK(ev, "available")
+	}
+	for ev, b := range idx.Binds {
+		threadOK(ev, "bind")
+		if b.Port == 0 {
+			rep.addf(vm, "bind %v recorded port 0", ev)
+		}
+	}
+	for ev := range idx.Errs {
+		threadOK(ev, "net-err")
+	}
+	for ev := range idx.OpenReads {
+		threadOK(ev, "open-read")
+	}
+	for ev := range idx.Envs {
+		threadOK(ev, "env")
+	}
+}
+
+// checkDatagram verifies datagram-log records against the schedule.
+func checkDatagram(rep *Report, vm ids.DJVMID, sched *tracelog.ScheduleIndex, idx *tracelog.DatagramIndex) {
+	for ev, entry := range idx.ByEvent {
+		if uint32(ev.Thread) >= sched.Meta.Threads {
+			rep.addf(vm, "datagram-recv record for unknown thread %d", ev.Thread)
+		}
+		if entry.ReceiverGC >= sched.Meta.FinalGC {
+			rep.addf(vm, "datagram-recv %v at counter %d beyond final counter %d",
+				ev, entry.ReceiverGC, sched.Meta.FinalGC)
+		}
+		if entry.Datagram.VM == vm {
+			rep.addf(vm, "datagram-recv %v names this same VM as sender", ev)
+		}
+	}
+}
+
+// CheckWorld validates a closed world's log sets against each other, after
+// checking each individually. Every receiver-side record naming a peer VM
+// must name one that exists, a thread it created, and a counter it reached.
+func CheckWorld(sets []*tracelog.Set) *Report {
+	rep := &Report{}
+	metas := map[ids.DJVMID]tracelog.VMMeta{}
+	indexes := map[ids.DJVMID]*tracelog.NetworkIndex{}
+	dgIndexes := map[ids.DJVMID]*tracelog.DatagramIndex{}
+
+	for _, set := range sets {
+		sub := CheckSet(set)
+		rep.Findings = append(rep.Findings, sub.Findings...)
+		sched, err := tracelog.BuildScheduleIndex(set.Schedule)
+		if err != nil {
+			continue
+		}
+		if _, dup := metas[sched.Meta.VM]; dup {
+			rep.addf(sched.Meta.VM, "duplicate DJVM id across the world's log sets")
+			continue
+		}
+		metas[sched.Meta.VM] = sched.Meta
+		if ni, err := tracelog.BuildNetworkIndex(set.Network); err == nil {
+			indexes[sched.Meta.VM] = ni
+		}
+		if di, err := tracelog.BuildDatagramIndex(set.Datagram); err == nil {
+			dgIndexes[sched.Meta.VM] = di
+		}
+	}
+
+	for vm, ni := range indexes {
+		for ev, cid := range ni.ServerSockets {
+			peer, ok := metas[cid.VM]
+			if !ok {
+				rep.addf(vm, "accept %v names unknown peer VM %d", ev, cid.VM)
+				continue
+			}
+			if uint32(cid.Thread) >= peer.Threads {
+				rep.addf(vm, "accept %v names thread %d of VM %d, which created only %d threads",
+					ev, cid.Thread, cid.VM, peer.Threads)
+			}
+		}
+	}
+	for vm, di := range dgIndexes {
+		for ev, entry := range di.ByEvent {
+			peer, ok := metas[entry.Datagram.VM]
+			if !ok {
+				rep.addf(vm, "datagram-recv %v names unknown sender VM %d", ev, entry.Datagram.VM)
+				continue
+			}
+			if entry.Datagram.GC >= peer.FinalGC {
+				rep.addf(vm, "datagram-recv %v names counter %d of VM %d, which only reached %d",
+					ev, entry.Datagram.GC, entry.Datagram.VM, peer.FinalGC)
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,207 @@
+package logcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/djsock"
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/tracelog"
+)
+
+// recordWorld produces the log sets of a real two-VM closed-world run.
+func recordWorld(t *testing.T) (server, client *tracelog.Set) {
+	t.Helper()
+	net := netsim.NewNetwork(netsim.Config{Seed: 5})
+	sVM, err := core.NewVM(core.Config{ID: 1, Mode: ids.Record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cVM, err := core.NewVM(core.Config{ID: 2, Mode: ids.Record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	senv := djsock.NewEnv(sVM, net, "s")
+	cenv := djsock.NewEnv(cVM, net, "c")
+	ready := make(chan uint16, 1)
+	sVM.Start(func(main *core.Thread) {
+		ss, err := senv.Listen(main, 0)
+		if err != nil {
+			panic(err)
+		}
+		ready <- ss.Port()
+		for i := 0; i < 2; i++ {
+			conn, err := ss.Accept(main)
+			if err != nil {
+				panic(err)
+			}
+			buf := make([]byte, 4)
+			conn.ReadFull(main, buf)
+			conn.Close(main)
+		}
+	})
+	port := <-ready
+	cVM.Start(func(main *core.Thread) {
+		var x core.SharedInt
+		for i := 0; i < 2; i++ {
+			x.Set(main, x.Get(main)+1)
+			conn, err := cenv.Connect(main, netsim.Addr{Host: "s", Port: port})
+			if err != nil {
+				panic(err)
+			}
+			conn.Write(main, []byte("ping"))
+			conn.Close(main)
+		}
+	})
+	done := make(chan struct{})
+	go func() { sVM.Wait(); cVM.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("record run deadlocked")
+	}
+	sVM.Close()
+	cVM.Close()
+	return sVM.Logs(), cVM.Logs()
+}
+
+func TestHealthyWorldPasses(t *testing.T) {
+	s, c := recordWorld(t)
+	if rep := CheckSet(s); !rep.OK() {
+		t.Errorf("server set findings: %v", rep.Findings)
+	}
+	if rep := CheckSet(c); !rep.OK() {
+		t.Errorf("client set findings: %v", rep.Findings)
+	}
+	if rep := CheckWorld([]*tracelog.Set{s, c}); !rep.OK() {
+		t.Errorf("world findings: %v", rep.Findings)
+	}
+}
+
+func findingsContain(rep *Report, substr string) bool {
+	for _, f := range rep.Findings {
+		if strings.Contains(f.Msg, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestScheduleGapDetected(t *testing.T) {
+	set := tracelog.NewSet()
+	set.Schedule.Append(&tracelog.VMMeta{VM: 1, Threads: 1, FinalGC: 10})
+	set.Schedule.Append(&tracelog.Interval{Thread: 0, First: 0, Last: 3})
+	set.Schedule.Append(&tracelog.Interval{Thread: 0, First: 6, Last: 9}) // gap 4-5
+	rep := CheckSet(set)
+	if !findingsContain(rep, "gap") {
+		t.Errorf("gap not detected: %v", rep.Findings)
+	}
+}
+
+func TestScheduleOverlapDetected(t *testing.T) {
+	set := tracelog.NewSet()
+	set.Schedule.Append(&tracelog.VMMeta{VM: 1, Threads: 2, FinalGC: 10})
+	set.Schedule.Append(&tracelog.Interval{Thread: 0, First: 0, Last: 5})
+	set.Schedule.Append(&tracelog.Interval{Thread: 1, First: 5, Last: 9}) // overlap at 5
+	rep := CheckSet(set)
+	if !findingsContain(rep, "overlap") {
+		t.Errorf("overlap not detected: %v", rep.Findings)
+	}
+}
+
+func TestShortCoverageDetected(t *testing.T) {
+	set := tracelog.NewSet()
+	set.Schedule.Append(&tracelog.VMMeta{VM: 1, Threads: 1, FinalGC: 10})
+	set.Schedule.Append(&tracelog.Interval{Thread: 0, First: 0, Last: 5})
+	rep := CheckSet(set)
+	if !findingsContain(rep, "final counter") {
+		t.Errorf("short coverage not detected: %v", rep.Findings)
+	}
+}
+
+func TestUnknownThreadDetected(t *testing.T) {
+	set := tracelog.NewSet()
+	set.Schedule.Append(&tracelog.VMMeta{VM: 1, Threads: 1, FinalGC: 2})
+	set.Schedule.Append(&tracelog.Interval{Thread: 0, First: 0, Last: 1})
+	set.Network.Append(&tracelog.ReadEntry{EventID: ids.NetworkEventID{Thread: 7, Event: 0}, N: 1})
+	rep := CheckSet(set)
+	if !findingsContain(rep, "unknown thread") {
+		t.Errorf("unknown thread not detected: %v", rep.Findings)
+	}
+}
+
+func TestNotifyBeyondFinalDetected(t *testing.T) {
+	set := tracelog.NewSet()
+	set.Schedule.Append(&tracelog.VMMeta{VM: 1, Threads: 1, FinalGC: 2})
+	set.Schedule.Append(&tracelog.Interval{Thread: 0, First: 0, Last: 1})
+	set.Schedule.Append(&tracelog.Notify{GC: 99, Woken: []ids.ThreadNum{0}})
+	rep := CheckSet(set)
+	if !findingsContain(rep, "beyond final counter") {
+		t.Errorf("out-of-range notify not detected: %v", rep.Findings)
+	}
+}
+
+func TestCrossVMUnknownPeerDetected(t *testing.T) {
+	s, c := recordWorld(t)
+	// Check the server's world with the client's logs missing: its
+	// ServerSocketEntries name VM 2, which is now unknown.
+	rep := CheckWorld([]*tracelog.Set{s})
+	if !findingsContain(rep, "unknown peer") {
+		t.Errorf("missing peer not detected: %v", rep.Findings)
+	}
+	// And with both present it passes.
+	if rep := CheckWorld([]*tracelog.Set{s, c}); !rep.OK() {
+		t.Errorf("full world flagged: %v", rep.Findings)
+	}
+}
+
+func TestCrossVMThreadRangeDetected(t *testing.T) {
+	server := tracelog.NewSet()
+	server.Schedule.Append(&tracelog.VMMeta{VM: 1, Threads: 1, FinalGC: 1})
+	server.Schedule.Append(&tracelog.Interval{Thread: 0, First: 0, Last: 0})
+	server.Network.Append(&tracelog.ServerSocketEntry{
+		ServerID: ids.NetworkEventID{Thread: 0, Event: 0},
+		ClientID: ids.ConnectionID{VM: 2, Thread: 40, Event: 0}, // client has 1 thread
+	})
+	client := tracelog.NewSet()
+	client.Schedule.Append(&tracelog.VMMeta{VM: 2, Threads: 1, FinalGC: 1})
+	client.Schedule.Append(&tracelog.Interval{Thread: 0, First: 0, Last: 0})
+
+	rep := CheckWorld([]*tracelog.Set{server, client})
+	if !findingsContain(rep, "created only") {
+		t.Errorf("impossible client thread not detected: %v", rep.Findings)
+	}
+}
+
+func TestCrossVMDatagramCounterDetected(t *testing.T) {
+	rx := tracelog.NewSet()
+	rx.Schedule.Append(&tracelog.VMMeta{VM: 1, Threads: 1, FinalGC: 1})
+	rx.Schedule.Append(&tracelog.Interval{Thread: 0, First: 0, Last: 0})
+	rx.Datagram.Append(&tracelog.DatagramRecvEntry{
+		EventID:    ids.NetworkEventID{Thread: 0, Event: 0},
+		ReceiverGC: 0,
+		Datagram:   ids.DGNetworkEventID{VM: 2, GC: 500}, // sender only reached 10
+	})
+	tx := tracelog.NewSet()
+	tx.Schedule.Append(&tracelog.VMMeta{VM: 2, Threads: 1, FinalGC: 10})
+	tx.Schedule.Append(&tracelog.Interval{Thread: 0, First: 0, Last: 9})
+
+	rep := CheckWorld([]*tracelog.Set{rx, tx})
+	if !findingsContain(rep, "only reached") {
+		t.Errorf("impossible datagram counter not detected: %v", rep.Findings)
+	}
+}
+
+func TestDuplicateVMIDDetected(t *testing.T) {
+	a := tracelog.NewSet()
+	a.Schedule.Append(&tracelog.VMMeta{VM: 1, Threads: 1, FinalGC: 0})
+	b := tracelog.NewSet()
+	b.Schedule.Append(&tracelog.VMMeta{VM: 1, Threads: 1, FinalGC: 0})
+	rep := CheckWorld([]*tracelog.Set{a, b})
+	if !findingsContain(rep, "duplicate DJVM id") {
+		t.Errorf("duplicate id not detected: %v", rep.Findings)
+	}
+}

@@ -1,0 +1,299 @@
+// Package rudp implements the pseudo-reliable UDP layer the paper's replay
+// phase depends on: "If no reliable UDP is available, a pseudo-reliable UDP
+// can be implemented as part of the sender and the receiver DJVMs by storing
+// sent and received datagrams and exchanging acknowledgment and negative-
+// acknowledgment messages between the DJVMs" (§4.2.3, footnote 3).
+//
+// A Conn wraps a netsim.DatagramSocket. Outgoing datagrams carry a sequence
+// number and are retransmitted until acknowledged; incoming datagrams are
+// acknowledged and de-duplicated, then handed to the application. Delivery is
+// reliable but possibly out of order — exactly the guarantee the paper's
+// replay mechanism requires, which then re-establishes the recorded order
+// itself from the RecordedDatagramLog.
+package rudp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// ErrClosed is returned by operations on a closed connection.
+var ErrClosed = errors.New("rudp: connection closed")
+
+// Header layout: 1 kind byte, 8-byte big-endian sequence number.
+const (
+	kindData byte = 0xD1
+	kindAck  byte = 0xA7
+
+	headerLen = 1 + 8
+)
+
+// Config tunes the retransmission machinery.
+type Config struct {
+	// RetransmitInterval is how long an unacknowledged datagram waits before
+	// being resent. Zero means 2ms — generous against the simulator's
+	// sub-millisecond chaos delays.
+	RetransmitInterval time.Duration
+	// TickInterval is how often the retransmitter scans for overdue
+	// datagrams. Zero means RetransmitInterval/2.
+	TickInterval time.Duration
+}
+
+type outstanding struct {
+	dest    netsim.Addr
+	frame   []byte
+	lastTry time.Time
+}
+
+type dedupKey struct {
+	src netsim.Addr
+	seq uint64
+}
+
+// Conn is a reliable datagram endpoint over an unreliable simulated socket.
+type Conn struct {
+	sock *netsim.DatagramSocket
+	cfg  Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	nextSeq  uint64
+	unacked  map[uint64]*outstanding
+	seen     map[dedupKey]bool
+	deliverq []netsim.Packet
+	closed   bool
+	recvErr  error
+
+	stopTicker chan struct{}
+	done       sync.WaitGroup
+
+	// Stats are updated atomically under mu and exposed for the benchmark
+	// harness's rudp ablation.
+	stats Stats
+}
+
+// Stats counts the traffic a connection generated.
+type Stats struct {
+	DataSent      uint64 // first transmissions
+	Retransmits   uint64
+	AcksSent      uint64
+	DupsDiscarded uint64
+	Delivered     uint64
+}
+
+// New wraps sock in a reliable connection and starts its receive and
+// retransmission loops. The Conn owns the socket from this point: closing the
+// Conn closes the socket.
+func New(sock *netsim.DatagramSocket, cfg Config) *Conn {
+	if cfg.RetransmitInterval <= 0 {
+		cfg.RetransmitInterval = 2 * time.Millisecond
+	}
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = cfg.RetransmitInterval / 2
+	}
+	c := &Conn{
+		sock:       sock,
+		cfg:        cfg,
+		unacked:    make(map[uint64]*outstanding),
+		seen:       make(map[dedupKey]bool),
+		stopTicker: make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.done.Add(2)
+	go c.receiveLoop()
+	go c.retransmitLoop()
+	return c
+}
+
+// Addr reports the underlying socket's bound address.
+func (c *Conn) Addr() netsim.Addr { return c.sock.Addr() }
+
+// frame builds a DATA frame for seq+payload.
+func frame(kind byte, seq uint64, payload []byte) []byte {
+	f := make([]byte, headerLen+len(payload))
+	f[0] = kind
+	binary.BigEndian.PutUint64(f[1:9], seq)
+	copy(f[headerLen:], payload)
+	return f
+}
+
+// SendTo transmits data reliably to addr. If addr names a multicast group the
+// send fans out into one reliable unicast per current group member. The call
+// registers the datagram for retransmission and returns after the first
+// transmission attempt.
+func (c *Conn) SendTo(network *netsim.Network, addr netsim.Addr, data []byte) error {
+	targets := []netsim.Addr{addr}
+	if members := network.GroupMembers(addr.Host, addr.Port); len(members) > 0 {
+		targets = members
+	}
+	for _, t := range targets {
+		if err := c.sendOne(t, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Conn) sendOne(dest netsim.Addr, data []byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	seq := c.nextSeq
+	c.nextSeq++
+	f := frame(kindData, seq, data)
+	c.unacked[seq] = &outstanding{dest: dest, frame: f, lastTry: time.Now()}
+	c.stats.DataSent++
+	c.mu.Unlock()
+
+	if err := c.sock.SendTo(dest, f); err != nil {
+		return fmt.Errorf("rudp: %w", err)
+	}
+	return nil
+}
+
+// Receive blocks until an application datagram is available and returns it.
+// Datagrams are delivered exactly once per sender sequence number, in arrival
+// order (which may differ from send order).
+func (c *Conn) Receive() (netsim.Packet, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.deliverq) == 0 && !c.closed && c.recvErr == nil {
+		c.cond.Wait()
+	}
+	if len(c.deliverq) > 0 {
+		p := c.deliverq[0]
+		c.deliverq = c.deliverq[1:]
+		return p, nil
+	}
+	if c.recvErr != nil {
+		return netsim.Packet{}, c.recvErr
+	}
+	return netsim.Packet{}, ErrClosed
+}
+
+// Outstanding reports how many datagrams remain unacknowledged.
+func (c *Conn) Outstanding() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.unacked)
+}
+
+// Stats returns a snapshot of the connection's traffic counters.
+func (c *Conn) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Flush blocks until every sent datagram has been acknowledged or the
+// connection closes.
+func (c *Conn) Flush() {
+	for {
+		c.mu.Lock()
+		empty := len(c.unacked) == 0
+		closed := c.closed
+		c.mu.Unlock()
+		if empty || closed {
+			return
+		}
+		time.Sleep(c.cfg.TickInterval)
+	}
+}
+
+func (c *Conn) receiveLoop() {
+	defer c.done.Done()
+	for {
+		pkt, err := c.sock.Receive()
+		if err != nil {
+			c.mu.Lock()
+			if !c.closed {
+				c.recvErr = fmt.Errorf("rudp: %w", err)
+			}
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+		if len(pkt.Data) < headerLen {
+			continue // not an rudp frame; drop
+		}
+		kind := pkt.Data[0]
+		seq := binary.BigEndian.Uint64(pkt.Data[1:9])
+		switch kind {
+		case kindAck:
+			c.mu.Lock()
+			delete(c.unacked, seq)
+			c.mu.Unlock()
+		case kindData:
+			// Acknowledge every copy, duplicates included: the original ACK
+			// may have been lost.
+			ack := frame(kindAck, seq, nil)
+			_ = c.sock.SendTo(pkt.Source, ack)
+			c.mu.Lock()
+			c.stats.AcksSent++
+			key := dedupKey{src: pkt.Source, seq: seq}
+			if c.seen[key] {
+				c.stats.DupsDiscarded++
+				c.mu.Unlock()
+				continue
+			}
+			c.seen[key] = true
+			c.stats.Delivered++
+			payload := make([]byte, len(pkt.Data)-headerLen)
+			copy(payload, pkt.Data[headerLen:])
+			c.deliverq = append(c.deliverq, netsim.Packet{Data: payload, Source: pkt.Source})
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		}
+	}
+}
+
+func (c *Conn) retransmitLoop() {
+	defer c.done.Done()
+	ticker := time.NewTicker(c.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stopTicker:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		c.mu.Lock()
+		var resend []*outstanding
+		for _, o := range c.unacked {
+			if now.Sub(o.lastTry) >= c.cfg.RetransmitInterval {
+				o.lastTry = now
+				resend = append(resend, o)
+				c.stats.Retransmits++
+			}
+		}
+		c.mu.Unlock()
+		for _, o := range resend {
+			_ = c.sock.SendTo(o.dest, o.frame)
+		}
+	}
+}
+
+// Close stops the loops and closes the underlying socket. Unacknowledged
+// datagrams are abandoned.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	close(c.stopTicker)
+	err := c.sock.Close()
+	c.done.Wait()
+	return err
+}

@@ -1,0 +1,597 @@
+package tracelog
+
+import (
+	"repro/internal/ids"
+)
+
+// Kind discriminates the record types that may appear in a DJVM log stream.
+type Kind uint8
+
+const (
+	kindInvalid Kind = iota
+
+	// Schedule log records.
+
+	// KindInterval is one logical schedule interval of one thread:
+	// ⟨threadNum, FirstCEvent, LastCEvent⟩ (§2.2).
+	KindInterval
+	// KindNotify records, for a notify/notifyAll critical event identified by
+	// its global counter value, which waiting threads were woken so the same
+	// threads are woken during replay.
+	KindNotify
+
+	// NetworkLogFile records (closed world, §4.1.3).
+
+	// KindServerSocket is a ServerSocketEntry ⟨serverId, clientId⟩ written at
+	// each successful accept.
+	KindServerSocket
+	// KindRead records the number of bytes a stream-socket read returned.
+	KindRead
+	// KindAvailable records the result of an available() query.
+	KindAvailable
+	// KindBind records the local port assigned by a bind.
+	KindBind
+	// KindNetErr records an error thrown by a network event so that it can be
+	// re-thrown during replay without re-executing the operation.
+	KindNetErr
+
+	// RecordedDatagramLog records (§4.2.2).
+
+	// KindDatagramRecv is one ⟨ReceiverGCounter, datagramId⟩ tuple, extended
+	// with the receiving thread/event for keyed lookup during replay.
+	KindDatagramRecv
+
+	// Open-world records (§5): full contents are logged and replay is served
+	// entirely from the log.
+
+	// KindOpenConnect records the observable result of a connect performed
+	// against a non-DJVM peer: the local/remote endpoint the application saw.
+	KindOpenConnect
+	// KindOpenAccept records the observable result of an accept from a
+	// non-DJVM peer.
+	KindOpenAccept
+	// KindOpenRead records the full data returned by a read from a non-DJVM
+	// peer.
+	KindOpenRead
+	// KindOpenWrite records the length and checksum of data written to a
+	// non-DJVM peer, letting replay detect divergence without storing or
+	// re-sending the payload.
+	KindOpenWrite
+	// KindOpenDatagram records the full contents and source of a datagram
+	// received from a non-DJVM peer.
+	KindOpenDatagram
+
+	// KindVMMeta is the per-VM header record: DJVM id, world, mode bookkeeping.
+	KindVMMeta
+	// KindCheckpoint marks a checkpoint: global counter value plus opaque
+	// application state (future-work extension, §8).
+	KindCheckpoint
+
+	// KindEnv records the value an environmental query (clock read, random
+	// draw) returned during the record phase; replay serves the query from
+	// the log (internal/djenv extension).
+	KindEnv
+
+	// KindTimedWait records how a timed wait resolved: whether its timer
+	// fired (adding a self-removal check event to the schedule) and whether
+	// the outcome was a timeout or a notification.
+	KindTimedWait
+
+	// New kinds must be appended here, never inserted above: kind values are
+	// part of the on-disk log format.
+	kindMax
+)
+
+var kindNames = [...]string{
+	kindInvalid:      "invalid",
+	KindInterval:     "interval",
+	KindNotify:       "notify",
+	KindServerSocket: "server-socket",
+	KindRead:         "read",
+	KindAvailable:    "available",
+	KindBind:         "bind",
+	KindNetErr:       "net-err",
+	KindDatagramRecv: "datagram-recv",
+	KindOpenConnect:  "open-connect",
+	KindOpenAccept:   "open-accept",
+	KindOpenRead:     "open-read",
+	KindOpenWrite:    "open-write",
+	KindOpenDatagram: "open-datagram",
+	KindEnv:          "env",
+	KindVMMeta:       "vm-meta",
+	KindCheckpoint:   "checkpoint",
+	KindTimedWait:    "timed-wait",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "kind(?)"
+}
+
+// Entry is one decoded log record.
+type Entry interface {
+	// Kind reports the record type.
+	Kind() Kind
+	encode(e *enc)
+	decode(d *dec)
+}
+
+// Interval is a logical schedule interval LSI_i = ⟨FirstCEvent_i, LastCEvent_i⟩
+// of thread Thread (§2.2). First and Last are global counter values; a
+// one-event interval has First == Last.
+type Interval struct {
+	Thread ids.ThreadNum
+	First  ids.GCount
+	Last   ids.GCount
+}
+
+func (iv *Interval) Kind() Kind { return KindInterval }
+
+func (iv *Interval) encode(e *enc) {
+	e.u32(uint32(iv.Thread))
+	e.u64(uint64(iv.First))
+	// Delta-encode Last against First: intervals are typically long but the
+	// delta is what varint compresses best.
+	e.u64(uint64(iv.Last - iv.First))
+}
+
+func (iv *Interval) decode(d *dec) {
+	iv.Thread = ids.ThreadNum(d.u32())
+	iv.First = ids.GCount(d.u64())
+	iv.Last = iv.First + ids.GCount(d.u64())
+}
+
+// Notify records the set of threads woken by the notify/notifyAll critical
+// event executed at global counter GC.
+type Notify struct {
+	GC    ids.GCount
+	Woken []ids.ThreadNum
+}
+
+func (n *Notify) Kind() Kind { return KindNotify }
+
+func (n *Notify) encode(e *enc) {
+	e.u64(uint64(n.GC))
+	e.u64(uint64(len(n.Woken)))
+	for _, t := range n.Woken {
+		e.u32(uint32(t))
+	}
+}
+
+func (n *Notify) decode(d *dec) {
+	n.GC = ids.GCount(d.u64())
+	cnt := d.u64()
+	if d.err != nil || cnt > 1<<20 {
+		d.fail()
+		return
+	}
+	n.Woken = make([]ids.ThreadNum, cnt)
+	for i := range n.Woken {
+		n.Woken[i] = ids.ThreadNum(d.u32())
+	}
+}
+
+// ServerSocketEntry is the tuple ⟨serverId, clientId⟩ logged at each
+// successful accept (§4.1.3): ServerID is the networkEventId of the accept
+// event and ClientID is the connectionId the client sent as the first meta
+// data over the established connection.
+type ServerSocketEntry struct {
+	ServerID ids.NetworkEventID
+	ClientID ids.ConnectionID
+}
+
+func (s *ServerSocketEntry) Kind() Kind { return KindServerSocket }
+
+func (s *ServerSocketEntry) encode(e *enc) {
+	e.u32(uint32(s.ServerID.Thread))
+	e.u32(uint32(s.ServerID.Event))
+	e.u32(uint32(s.ClientID.VM))
+	e.u32(uint32(s.ClientID.Thread))
+	e.u32(uint32(s.ClientID.Event))
+}
+
+func (s *ServerSocketEntry) decode(d *dec) {
+	s.ServerID.Thread = ids.ThreadNum(d.u32())
+	s.ServerID.Event = ids.EventNum(d.u32())
+	s.ClientID.VM = ids.DJVMID(d.u32())
+	s.ClientID.Thread = ids.ThreadNum(d.u32())
+	s.ClientID.Event = ids.EventNum(d.u32())
+}
+
+// ReadEntry records, for the read network event EventID, the number of bytes
+// the record-phase read returned (numRecorded, §4.1.3).
+type ReadEntry struct {
+	EventID ids.NetworkEventID
+	N       uint32
+	EOF     bool // record-phase read hit end-of-stream
+}
+
+func (r *ReadEntry) Kind() Kind { return KindRead }
+
+func (r *ReadEntry) encode(e *enc) {
+	e.u32(uint32(r.EventID.Thread))
+	e.u32(uint32(r.EventID.Event))
+	e.u32(r.N)
+	e.bool(r.EOF)
+}
+
+func (r *ReadEntry) decode(d *dec) {
+	r.EventID.Thread = ids.ThreadNum(d.u32())
+	r.EventID.Event = ids.EventNum(d.u32())
+	r.N = d.u32()
+	r.EOF = d.bool()
+}
+
+// AvailableEntry records the byte count returned by an available() network
+// query so that replay can block until the same number of bytes is available.
+type AvailableEntry struct {
+	EventID ids.NetworkEventID
+	N       uint32
+}
+
+func (a *AvailableEntry) Kind() Kind { return KindAvailable }
+
+func (a *AvailableEntry) encode(e *enc) {
+	e.u32(uint32(a.EventID.Thread))
+	e.u32(uint32(a.EventID.Event))
+	e.u32(a.N)
+}
+
+func (a *AvailableEntry) decode(d *dec) {
+	a.EventID.Thread = ids.ThreadNum(d.u32())
+	a.EventID.Event = ids.EventNum(d.u32())
+	a.N = d.u32()
+}
+
+// BindEntry records the local port a bind network event returned so replay can
+// request the same port explicitly.
+type BindEntry struct {
+	EventID ids.NetworkEventID
+	Port    uint16
+}
+
+func (b *BindEntry) Kind() Kind { return KindBind }
+
+func (b *BindEntry) encode(e *enc) {
+	e.u32(uint32(b.EventID.Thread))
+	e.u32(uint32(b.EventID.Event))
+	e.u16(b.Port)
+}
+
+func (b *BindEntry) decode(d *dec) {
+	b.EventID.Thread = ids.ThreadNum(d.u32())
+	b.EventID.Event = ids.EventNum(d.u32())
+	b.Port = d.u16()
+}
+
+// NetErrEntry records an error thrown by the network event EventID during the
+// record phase; replay re-throws it without executing the operation (§4.1.3:
+// "an exception thrown by a network event in the record phase is logged and
+// re-thrown in the replay phase").
+type NetErrEntry struct {
+	EventID ids.NetworkEventID
+	Op      string
+	Msg     string
+}
+
+func (n *NetErrEntry) Kind() Kind { return KindNetErr }
+
+func (n *NetErrEntry) encode(e *enc) {
+	e.u32(uint32(n.EventID.Thread))
+	e.u32(uint32(n.EventID.Event))
+	e.str(n.Op)
+	e.str(n.Msg)
+}
+
+func (n *NetErrEntry) decode(d *dec) {
+	n.EventID.Thread = ids.ThreadNum(d.u32())
+	n.EventID.Event = ids.EventNum(d.u32())
+	n.Op = d.str()
+	n.Msg = d.str()
+}
+
+// DatagramRecvEntry is one RecordedDatagramLog tuple
+// ⟨ReceiverGCounter, datagramId⟩ (§4.2.2), extended with the receiving
+// thread/event id for keyed lookup during replay.
+type DatagramRecvEntry struct {
+	EventID    ids.NetworkEventID
+	ReceiverGC ids.GCount
+	Datagram   ids.DGNetworkEventID
+}
+
+func (g *DatagramRecvEntry) Kind() Kind { return KindDatagramRecv }
+
+func (g *DatagramRecvEntry) encode(e *enc) {
+	e.u32(uint32(g.EventID.Thread))
+	e.u32(uint32(g.EventID.Event))
+	e.u64(uint64(g.ReceiverGC))
+	e.u32(uint32(g.Datagram.VM))
+	e.u64(uint64(g.Datagram.GC))
+}
+
+func (g *DatagramRecvEntry) decode(d *dec) {
+	g.EventID.Thread = ids.ThreadNum(d.u32())
+	g.EventID.Event = ids.EventNum(d.u32())
+	g.ReceiverGC = ids.GCount(d.u64())
+	g.Datagram.VM = ids.DJVMID(d.u32())
+	g.Datagram.GC = ids.GCount(d.u64())
+}
+
+// OpenConnectEntry records what the application observed from a connect
+// against a non-DJVM peer: the endpoint addresses of the established
+// connection. Replay constructs an equivalent logical connection without
+// executing the operating-system-level connect (§5).
+type OpenConnectEntry struct {
+	EventID    ids.NetworkEventID
+	LocalPort  uint16
+	RemoteHost string
+	RemotePort uint16
+}
+
+func (o *OpenConnectEntry) Kind() Kind { return KindOpenConnect }
+
+func (o *OpenConnectEntry) encode(e *enc) {
+	e.u32(uint32(o.EventID.Thread))
+	e.u32(uint32(o.EventID.Event))
+	e.u16(o.LocalPort)
+	e.str(o.RemoteHost)
+	e.u16(o.RemotePort)
+}
+
+func (o *OpenConnectEntry) decode(d *dec) {
+	o.EventID.Thread = ids.ThreadNum(d.u32())
+	o.EventID.Event = ids.EventNum(d.u32())
+	o.LocalPort = d.u16()
+	o.RemoteHost = d.str()
+	o.RemotePort = d.u16()
+}
+
+// OpenAcceptEntry records what the application observed from an accept of a
+// connection from a non-DJVM peer.
+type OpenAcceptEntry struct {
+	EventID    ids.NetworkEventID
+	RemoteHost string
+	RemotePort uint16
+}
+
+func (o *OpenAcceptEntry) Kind() Kind { return KindOpenAccept }
+
+func (o *OpenAcceptEntry) encode(e *enc) {
+	e.u32(uint32(o.EventID.Thread))
+	e.u32(uint32(o.EventID.Event))
+	e.str(o.RemoteHost)
+	e.u16(o.RemotePort)
+}
+
+func (o *OpenAcceptEntry) decode(d *dec) {
+	o.EventID.Thread = ids.ThreadNum(d.u32())
+	o.EventID.Event = ids.EventNum(d.u32())
+	o.RemoteHost = d.str()
+	o.RemotePort = d.u16()
+}
+
+// OpenReadEntry records the full data returned by a read from a non-DJVM peer
+// so that replay can serve the read entirely from the log (§5).
+type OpenReadEntry struct {
+	EventID ids.NetworkEventID
+	Data    []byte
+	EOF     bool
+}
+
+func (o *OpenReadEntry) Kind() Kind { return KindOpenRead }
+
+func (o *OpenReadEntry) encode(e *enc) {
+	e.u32(uint32(o.EventID.Thread))
+	e.u32(uint32(o.EventID.Event))
+	e.bytes(o.Data)
+	e.bool(o.EOF)
+}
+
+func (o *OpenReadEntry) decode(d *dec) {
+	o.EventID.Thread = ids.ThreadNum(d.u32())
+	o.EventID.Event = ids.EventNum(d.u32())
+	o.Data = d.bytes()
+	o.EOF = d.bool()
+}
+
+// OpenWriteEntry records the length and FNV-1a checksum of the data a write
+// sent to a non-DJVM peer. During replay the message "need not be sent again"
+// (§5); the checksum lets the replayer detect a diverged execution.
+type OpenWriteEntry struct {
+	EventID ids.NetworkEventID
+	Len     uint32
+	Sum     uint64
+}
+
+func (o *OpenWriteEntry) Kind() Kind { return KindOpenWrite }
+
+func (o *OpenWriteEntry) encode(e *enc) {
+	e.u32(uint32(o.EventID.Thread))
+	e.u32(uint32(o.EventID.Event))
+	e.u32(o.Len)
+	e.u64(o.Sum)
+}
+
+func (o *OpenWriteEntry) decode(d *dec) {
+	o.EventID.Thread = ids.ThreadNum(d.u32())
+	o.EventID.Event = ids.EventNum(d.u32())
+	o.Len = d.u32()
+	o.Sum = d.u64()
+}
+
+// OpenDatagramEntry records the full contents and source address of a
+// datagram received from a non-DJVM peer.
+type OpenDatagramEntry struct {
+	EventID    ids.NetworkEventID
+	SourceHost string
+	SourcePort uint16
+	Data       []byte
+}
+
+func (o *OpenDatagramEntry) Kind() Kind { return KindOpenDatagram }
+
+func (o *OpenDatagramEntry) encode(e *enc) {
+	e.u32(uint32(o.EventID.Thread))
+	e.u32(uint32(o.EventID.Event))
+	e.str(o.SourceHost)
+	e.u16(o.SourcePort)
+	e.bytes(o.Data)
+}
+
+func (o *OpenDatagramEntry) decode(d *dec) {
+	o.EventID.Thread = ids.ThreadNum(d.u32())
+	o.EventID.Event = ids.EventNum(d.u32())
+	o.SourceHost = d.str()
+	o.SourcePort = d.u16()
+	o.Data = d.bytes()
+}
+
+// EnvEntry records the value returned by an environmental query — a clock
+// read or random draw — so replay can serve the same value (djenv
+// extension; the same full-recording discipline as open-world input, §5).
+type EnvEntry struct {
+	EventID ids.NetworkEventID
+	Op      string
+	Value   uint64
+}
+
+func (e *EnvEntry) Kind() Kind { return KindEnv }
+
+func (e *EnvEntry) encode(enc *enc) {
+	enc.u32(uint32(e.EventID.Thread))
+	enc.u32(uint32(e.EventID.Event))
+	enc.str(e.Op)
+	enc.u64(e.Value)
+}
+
+func (e *EnvEntry) decode(d *dec) {
+	e.EventID.Thread = ids.ThreadNum(d.u32())
+	e.EventID.Event = ids.EventNum(d.u32())
+	e.Op = d.str()
+	e.Value = d.u64()
+}
+
+// VMMeta is the per-VM header record: the DJVM identity assigned during the
+// record phase (reused during replay, §4.1.3) and the world configuration.
+type VMMeta struct {
+	VM      ids.DJVMID
+	World   ids.World
+	Threads uint32     // number of threads created during the record phase
+	FinalGC ids.GCount // final global counter value
+}
+
+func (m *VMMeta) Kind() Kind { return KindVMMeta }
+
+func (m *VMMeta) encode(e *enc) {
+	e.u32(uint32(m.VM))
+	e.u8(uint8(m.World))
+	e.u32(m.Threads)
+	e.u64(uint64(m.FinalGC))
+}
+
+func (m *VMMeta) decode(d *dec) {
+	m.VM = ids.DJVMID(d.u32())
+	m.World = ids.World(d.u8())
+	m.Threads = d.u32()
+	m.FinalGC = ids.GCount(d.u64())
+}
+
+// CheckpointEntry marks a consistent local checkpoint: the global counter at
+// which it was taken, the VM bookkeeping needed to resume identity assignment
+// (next thread number, the checkpointing thread's network event number), and
+// opaque application state captured by a user-provided checkpointer (§8
+// future work, implemented in internal/checkpoint).
+type CheckpointEntry struct {
+	GC           ids.GCount
+	NextThread   uint32
+	TakerThread  ids.ThreadNum
+	MainEventNum ids.EventNum
+	State        []byte
+}
+
+func (c *CheckpointEntry) Kind() Kind { return KindCheckpoint }
+
+func (c *CheckpointEntry) encode(e *enc) {
+	e.u64(uint64(c.GC))
+	e.u32(c.NextThread)
+	e.u32(uint32(c.TakerThread))
+	e.u32(uint32(c.MainEventNum))
+	e.bytes(c.State)
+}
+
+func (c *CheckpointEntry) decode(d *dec) {
+	c.GC = ids.GCount(d.u64())
+	c.NextThread = d.u32()
+	c.TakerThread = ids.ThreadNum(d.u32())
+	c.MainEventNum = ids.EventNum(d.u32())
+	c.State = d.bytes()
+}
+
+// TimedWaitEntry records the resolution of a timed wait whose wait-enter
+// critical event executed at counter GC. Check reports whether the timer
+// fired, adding a self-removal check critical event to the waiting thread's
+// schedule; TimedOut reports whether that check found the thread still in
+// the wait set (timeout) or already notified (the notify won the race).
+type TimedWaitEntry struct {
+	GC       ids.GCount
+	Check    bool
+	TimedOut bool
+}
+
+func (w *TimedWaitEntry) Kind() Kind { return KindTimedWait }
+
+func (w *TimedWaitEntry) encode(e *enc) {
+	e.u64(uint64(w.GC))
+	e.bool(w.Check)
+	e.bool(w.TimedOut)
+}
+
+func (w *TimedWaitEntry) decode(d *dec) {
+	w.GC = ids.GCount(d.u64())
+	w.Check = d.bool()
+	w.TimedOut = d.bool()
+}
+
+// newEntry allocates the zero Entry for a kind.
+func newEntry(k Kind) (Entry, error) {
+	switch k {
+	case KindInterval:
+		return &Interval{}, nil
+	case KindNotify:
+		return &Notify{}, nil
+	case KindServerSocket:
+		return &ServerSocketEntry{}, nil
+	case KindRead:
+		return &ReadEntry{}, nil
+	case KindAvailable:
+		return &AvailableEntry{}, nil
+	case KindBind:
+		return &BindEntry{}, nil
+	case KindNetErr:
+		return &NetErrEntry{}, nil
+	case KindDatagramRecv:
+		return &DatagramRecvEntry{}, nil
+	case KindOpenConnect:
+		return &OpenConnectEntry{}, nil
+	case KindOpenAccept:
+		return &OpenAcceptEntry{}, nil
+	case KindOpenRead:
+		return &OpenReadEntry{}, nil
+	case KindOpenWrite:
+		return &OpenWriteEntry{}, nil
+	case KindOpenDatagram:
+		return &OpenDatagramEntry{}, nil
+	case KindEnv:
+		return &EnvEntry{}, nil
+	case KindTimedWait:
+		return &TimedWaitEntry{}, nil
+	case KindVMMeta:
+		return &VMMeta{}, nil
+	case KindCheckpoint:
+		return &CheckpointEntry{}, nil
+	default:
+		return nil, corruptf("unknown record kind %d", k)
+	}
+}

@@ -1,0 +1,54 @@
+package tracelog
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+)
+
+// FuzzParse hardens the log decoder against arbitrary bytes: whatever the
+// input, Parse must return cleanly (entries or an error), never panic, and
+// parsing must be deterministic. Replay consumes logs that may have crossed
+// machines and filesystems; the decoder is a trust boundary.
+func FuzzParse(f *testing.F) {
+	// Seed with a healthy multi-record log and characteristic corruptions.
+	l := NewLog()
+	l.Append(&VMMeta{VM: 3, World: ids.ClosedWorld, Threads: 4, FinalGC: 100})
+	l.Append(&Interval{Thread: 1, First: 10, Last: 90})
+	l.Append(&Notify{GC: 50, Woken: []ids.ThreadNum{2, 3}})
+	l.Append(&ReadEntry{EventID: ids.NetworkEventID{Thread: 1, Event: 2}, N: 64})
+	l.Append(&OpenReadEntry{EventID: ids.NetworkEventID{Thread: 2, Event: 0}, Data: []byte("payload")})
+	l.Append(&DatagramRecvEntry{
+		EventID:  ids.NetworkEventID{Thread: 3, Event: 1},
+		Datagram: ids.DGNetworkEventID{VM: 9, GC: 77},
+	})
+	healthy := l.Bytes()
+	f.Add(healthy)
+	f.Add(healthy[:len(healthy)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff})
+	mutated := append([]byte(nil), healthy...)
+	mutated[0] ^= 0x55
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := Parse(data)
+		if err != nil && entries != nil {
+			t.Fatal("Parse returned entries alongside an error")
+		}
+		// Determinism: a second parse agrees.
+		entries2, err2 := Parse(data)
+		if (err == nil) != (err2 == nil) || len(entries) != len(entries2) {
+			t.Fatal("Parse is not deterministic")
+		}
+		// A successful parse must survive the replay indexers without
+		// panicking (they may reject the content with errors).
+		if err == nil {
+			lg := NewLog()
+			lg.buf = data
+			BuildScheduleIndex(lg)
+			BuildNetworkIndex(lg)
+			BuildDatagramIndex(lg)
+		}
+	})
+}

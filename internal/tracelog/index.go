@@ -1,0 +1,202 @@
+package tracelog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ids"
+)
+
+// ScheduleIndex is the replay-side view of a schedule log: per-thread logical
+// schedule intervals in execution order, notify payloads keyed by global
+// counter, and checkpoints in counter order.
+type ScheduleIndex struct {
+	Meta        VMMeta
+	Intervals   map[ids.ThreadNum][]Interval
+	Notifies    map[ids.GCount][]ids.ThreadNum
+	TimedWaits  map[ids.GCount]TimedWaitEntry
+	Checkpoints []CheckpointEntry
+}
+
+// BuildScheduleIndex decodes a schedule log and indexes it for replay.
+// Interval order within a thread is preserved from append order, which is the
+// thread's execution order; intervals are additionally validated to be
+// non-overlapping and increasing per thread.
+func BuildScheduleIndex(l *Log) (*ScheduleIndex, error) {
+	entries, err := l.Entries()
+	if err != nil {
+		return nil, err
+	}
+	idx := &ScheduleIndex{
+		Intervals:  make(map[ids.ThreadNum][]Interval),
+		Notifies:   make(map[ids.GCount][]ids.ThreadNum),
+		TimedWaits: make(map[ids.GCount]TimedWaitEntry),
+	}
+	sawMeta := false
+	for _, e := range entries {
+		switch v := e.(type) {
+		case *Interval:
+			if v.Last < v.First {
+				return nil, corruptf("interval for thread %d has Last %d < First %d", v.Thread, v.Last, v.First)
+			}
+			ivs := idx.Intervals[v.Thread]
+			if n := len(ivs); n > 0 && ivs[n-1].Last >= v.First {
+				return nil, corruptf("intervals for thread %d out of order: [%d,%d] then [%d,%d]",
+					v.Thread, ivs[n-1].First, ivs[n-1].Last, v.First, v.Last)
+			}
+			idx.Intervals[v.Thread] = append(ivs, *v)
+		case *Notify:
+			idx.Notifies[v.GC] = v.Woken
+		case *TimedWaitEntry:
+			idx.TimedWaits[v.GC] = *v
+		case *VMMeta:
+			idx.Meta = *v
+			sawMeta = true
+		case *CheckpointEntry:
+			idx.Checkpoints = append(idx.Checkpoints, *v)
+		default:
+			return nil, corruptf("unexpected %v record in schedule log", e.Kind())
+		}
+	}
+	if !sawMeta {
+		return nil, corruptf("schedule log has no vm-meta record")
+	}
+	sort.Slice(idx.Checkpoints, func(i, j int) bool {
+		return idx.Checkpoints[i].GC < idx.Checkpoints[j].GC
+	})
+	return idx, nil
+}
+
+// NetworkIndex is the replay-side view of a NetworkLogFile. Closed-world
+// replay entries and open-world content entries are keyed by the network
+// event id ⟨threadNum, eventNum⟩, which the paper guarantees is identical
+// across record and replay (§4.1.3).
+type NetworkIndex struct {
+	// ServerSockets maps an accept's networkEventId to the connectionId that
+	// the matching record-phase connection carried.
+	ServerSockets map[ids.NetworkEventID]ids.ConnectionID
+	Reads         map[ids.NetworkEventID]ReadEntry
+	Availables    map[ids.NetworkEventID]AvailableEntry
+	Binds         map[ids.NetworkEventID]BindEntry
+	Errs          map[ids.NetworkEventID]NetErrEntry
+	OpenConnects  map[ids.NetworkEventID]OpenConnectEntry
+	OpenAccepts   map[ids.NetworkEventID]OpenAcceptEntry
+	OpenReads     map[ids.NetworkEventID]OpenReadEntry
+	OpenWrites    map[ids.NetworkEventID]OpenWriteEntry
+	OpenDatagrams map[ids.NetworkEventID]OpenDatagramEntry
+	Envs          map[ids.NetworkEventID]EnvEntry
+}
+
+// dupError reports two log entries claiming the same network event.
+type dupError struct{ kind Kind }
+
+func (e dupError) Error() string {
+	return fmt.Sprintf("tracelog: duplicate %v entry for one network event", e.kind)
+}
+
+// BuildNetworkIndex decodes a NetworkLogFile and indexes it for replay.
+// A duplicate key is a corruption error except for ServerSocketEntries, whose
+// lack of uniqueness the paper explicitly tolerates ("this lack of unique
+// entries is not a problem", §4.1.3) — uniqueness of our extended
+// connectionId makes duplicates impossible in practice, but the first entry
+// wins to mirror the paper's semantics.
+func BuildNetworkIndex(l *Log) (*NetworkIndex, error) {
+	entries, err := l.Entries()
+	if err != nil {
+		return nil, err
+	}
+	idx := &NetworkIndex{
+		ServerSockets: make(map[ids.NetworkEventID]ids.ConnectionID),
+		Reads:         make(map[ids.NetworkEventID]ReadEntry),
+		Availables:    make(map[ids.NetworkEventID]AvailableEntry),
+		Binds:         make(map[ids.NetworkEventID]BindEntry),
+		Errs:          make(map[ids.NetworkEventID]NetErrEntry),
+		OpenConnects:  make(map[ids.NetworkEventID]OpenConnectEntry),
+		OpenAccepts:   make(map[ids.NetworkEventID]OpenAcceptEntry),
+		OpenReads:     make(map[ids.NetworkEventID]OpenReadEntry),
+		OpenWrites:    make(map[ids.NetworkEventID]OpenWriteEntry),
+		OpenDatagrams: make(map[ids.NetworkEventID]OpenDatagramEntry),
+		Envs:          make(map[ids.NetworkEventID]EnvEntry),
+	}
+	for _, e := range entries {
+		switch v := e.(type) {
+		case *ServerSocketEntry:
+			if _, ok := idx.ServerSockets[v.ServerID]; !ok {
+				idx.ServerSockets[v.ServerID] = v.ClientID
+			}
+		case *ReadEntry:
+			if _, ok := idx.Reads[v.EventID]; ok {
+				return nil, dupError{KindRead}
+			}
+			idx.Reads[v.EventID] = *v
+		case *AvailableEntry:
+			if _, ok := idx.Availables[v.EventID]; ok {
+				return nil, dupError{KindAvailable}
+			}
+			idx.Availables[v.EventID] = *v
+		case *BindEntry:
+			if _, ok := idx.Binds[v.EventID]; ok {
+				return nil, dupError{KindBind}
+			}
+			idx.Binds[v.EventID] = *v
+		case *NetErrEntry:
+			if _, ok := idx.Errs[v.EventID]; ok {
+				return nil, dupError{KindNetErr}
+			}
+			idx.Errs[v.EventID] = *v
+		case *OpenConnectEntry:
+			idx.OpenConnects[v.EventID] = *v
+		case *OpenAcceptEntry:
+			idx.OpenAccepts[v.EventID] = *v
+		case *OpenReadEntry:
+			idx.OpenReads[v.EventID] = *v
+		case *OpenWriteEntry:
+			idx.OpenWrites[v.EventID] = *v
+		case *OpenDatagramEntry:
+			idx.OpenDatagrams[v.EventID] = *v
+		case *EnvEntry:
+			if _, ok := idx.Envs[v.EventID]; ok {
+				return nil, dupError{KindEnv}
+			}
+			idx.Envs[v.EventID] = *v
+		default:
+			return nil, corruptf("unexpected %v record in network log", e.Kind())
+		}
+	}
+	return idx, nil
+}
+
+// DatagramIndex is the replay-side view of a RecordedDatagramLog: the
+// per-receive-event delivery record, plus how many times each datagram id was
+// delivered to the application during the record phase. "A datagram entry
+// that has been delivered multiple times during the record phase due to
+// duplication is kept in the buffer until it is delivered to the same number
+// of read requests as in the record phase" (§4.2.3).
+type DatagramIndex struct {
+	ByEvent    map[ids.NetworkEventID]DatagramRecvEntry
+	Deliveries map[ids.DGNetworkEventID]int
+}
+
+// BuildDatagramIndex indexes the datagram log for replay.
+func BuildDatagramIndex(l *Log) (*DatagramIndex, error) {
+	entries, err := l.Entries()
+	if err != nil {
+		return nil, err
+	}
+	idx := &DatagramIndex{
+		ByEvent:    make(map[ids.NetworkEventID]DatagramRecvEntry),
+		Deliveries: make(map[ids.DGNetworkEventID]int),
+	}
+	for _, e := range entries {
+		v, ok := e.(*DatagramRecvEntry)
+		if !ok {
+			return nil, corruptf("unexpected %v record in datagram log", e.Kind())
+		}
+		if _, dup := idx.ByEvent[v.EventID]; dup {
+			return nil, dupError{KindDatagramRecv}
+		}
+		idx.ByEvent[v.EventID] = *v
+		idx.Deliveries[v.Datagram]++
+	}
+	return idx, nil
+}

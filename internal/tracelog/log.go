@@ -1,0 +1,160 @@
+package tracelog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Log is a thread-safe, append-only stream of log records held in memory.
+// A DJVM appends entries during the record phase; Bytes/SaveFile persist the
+// stream and Parse/LoadFile reconstruct it for the replay phase.
+type Log struct {
+	mu      sync.Mutex
+	buf     []byte
+	entries int
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// Append encodes and appends one entry.
+func (l *Log) Append(e Entry) {
+	var ec enc
+	ec.u8(uint8(e.Kind()))
+	e.encode(&ec)
+	l.mu.Lock()
+	l.buf = append(l.buf, ec.buf...)
+	l.entries++
+	l.mu.Unlock()
+}
+
+// Size reports the encoded size of the log in bytes. This is the "log size"
+// quantity reported in the paper's Tables 1 and 2.
+func (l *Log) Size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}
+
+// Len reports the number of entries appended.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.entries
+}
+
+// Bytes returns a copy of the encoded log.
+func (l *Log) Bytes() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]byte, len(l.buf))
+	copy(out, l.buf)
+	return out
+}
+
+// Entries decodes and returns every record in append order.
+func (l *Log) Entries() ([]Entry, error) {
+	return Parse(l.Bytes())
+}
+
+// SaveFile writes the encoded log to path, creating parent directories.
+func (l *Log) SaveFile(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("tracelog: save %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, l.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("tracelog: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// Parse decodes an encoded log stream into its entries.
+func Parse(data []byte) ([]Entry, error) {
+	d := &dec{buf: data}
+	var out []Entry
+	for !d.done() {
+		k := Kind(d.u8())
+		if d.err != nil {
+			return nil, d.err
+		}
+		e, err := newEntry(k)
+		if err != nil {
+			return nil, err
+		}
+		e.decode(d)
+		if d.err != nil {
+			return nil, fmt.Errorf("%w: decoding %v record at offset %d", ErrCorrupt, k, d.off)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// LoadFile reads and decodes the log at path.
+func LoadFile(path string) ([]Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tracelog: load %s: %w", path, err)
+	}
+	return Parse(data)
+}
+
+// Set bundles the three per-DJVM logs. The paper keeps a per-DJVM
+// NetworkLogFile (§4.1.3) and RecordedDatagramLog (§4.2.2) next to the
+// schedule log of the single-VM DejaVu core (§2.2); Set mirrors that layout.
+type Set struct {
+	// Schedule holds VMMeta, Interval, Notify and Checkpoint records.
+	Schedule *Log
+	// Network is the NetworkLogFile: stream-socket replay records plus all
+	// open-world content records.
+	Network *Log
+	// Datagram is the RecordedDatagramLog.
+	Datagram *Log
+}
+
+// NewSet returns an empty log set.
+func NewSet() *Set {
+	return &Set{Schedule: NewLog(), Network: NewLog(), Datagram: NewLog()}
+}
+
+// TotalSize is the total recorded bytes across the three logs — the paper's
+// "log size" column ("the list of scheduling intervals for each thread and
+// information related to network activity", §6).
+func (s *Set) TotalSize() int {
+	return s.Schedule.Size() + s.Network.Size() + s.Datagram.Size()
+}
+
+// Save persists the three logs under dir as schedule.log, network.log and
+// datagram.log.
+func (s *Set) Save(dir string) error {
+	if err := s.Schedule.SaveFile(filepath.Join(dir, "schedule.log")); err != nil {
+		return err
+	}
+	if err := s.Network.SaveFile(filepath.Join(dir, "network.log")); err != nil {
+		return err
+	}
+	return s.Datagram.SaveFile(filepath.Join(dir, "datagram.log"))
+}
+
+// LoadSet reads the three logs saved by Save back into memory.
+func LoadSet(dir string) (*Set, error) {
+	s := NewSet()
+	for _, f := range []struct {
+		name string
+		log  *Log
+	}{
+		{"schedule.log", s.Schedule},
+		{"network.log", s.Network},
+		{"datagram.log", s.Datagram},
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, f.name))
+		if err != nil {
+			return nil, fmt.Errorf("tracelog: load set: %w", err)
+		}
+		f.log.buf = data
+		// Entry count is recovered lazily by Parse when needed.
+	}
+	return s, nil
+}

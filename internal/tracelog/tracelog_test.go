@@ -1,0 +1,240 @@
+package tracelog
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+)
+
+// allEntryKinds returns one representative value per entry kind, for
+// exhaustive round-trip coverage.
+func allEntryKinds() []Entry {
+	return []Entry{
+		&Interval{Thread: 3, First: 100, Last: 4242},
+		&Notify{GC: 77, Woken: []ids.ThreadNum{1, 9, 200}},
+		&ServerSocketEntry{
+			ServerID: ids.NetworkEventID{Thread: 2, Event: 5},
+			ClientID: ids.ConnectionID{VM: 9, Thread: 4, Event: 6},
+		},
+		&ReadEntry{EventID: ids.NetworkEventID{Thread: 1, Event: 2}, N: 512, EOF: true},
+		&AvailableEntry{EventID: ids.NetworkEventID{Thread: 7, Event: 0}, N: 9000},
+		&BindEntry{EventID: ids.NetworkEventID{Thread: 0, Event: 1}, Port: 65535},
+		&NetErrEntry{EventID: ids.NetworkEventID{Thread: 5, Event: 5}, Op: "connect", Msg: "refused"},
+		&DatagramRecvEntry{
+			EventID:    ids.NetworkEventID{Thread: 3, Event: 9},
+			ReceiverGC: 1 << 40,
+			Datagram:   ids.DGNetworkEventID{VM: 2, GC: 1 << 33},
+		},
+		&OpenConnectEntry{EventID: ids.NetworkEventID{Thread: 1, Event: 1}, LocalPort: 5, RemoteHost: "h", RemotePort: 80},
+		&OpenAcceptEntry{EventID: ids.NetworkEventID{Thread: 2, Event: 2}, RemoteHost: "peer", RemotePort: 1234},
+		&OpenReadEntry{EventID: ids.NetworkEventID{Thread: 3, Event: 3}, Data: []byte{1, 2, 3, 0, 255}, EOF: false},
+		&OpenWriteEntry{EventID: ids.NetworkEventID{Thread: 4, Event: 4}, Len: 99, Sum: 0xdeadbeefcafe},
+		&OpenDatagramEntry{EventID: ids.NetworkEventID{Thread: 5, Event: 5}, SourceHost: "src", SourcePort: 53, Data: []byte("dns")},
+		&VMMeta{VM: 12, World: ids.MixedWorld, Threads: 33, FinalGC: 1 << 50},
+		&CheckpointEntry{GC: 500, NextThread: 9, TakerThread: 0, MainEventNum: 17, State: []byte("snapshot")},
+	}
+}
+
+func TestEveryEntryKindRoundTrips(t *testing.T) {
+	l := NewLog()
+	want := allEntryKinds()
+	for _, e := range want {
+		l.Append(e)
+	}
+	got, err := l.Entries()
+	if err != nil {
+		t.Fatalf("Entries: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("entry %d: decoded %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIntervalRoundTripProperty(t *testing.T) {
+	f := func(thread uint32, first uint64, span uint16) bool {
+		iv := &Interval{
+			Thread: ids.ThreadNum(thread),
+			First:  ids.GCount(first),
+			Last:   ids.GCount(first) + ids.GCount(span),
+		}
+		l := NewLog()
+		l.Append(iv)
+		got, err := l.Entries()
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		return reflect.DeepEqual(got[0], iv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpenReadRoundTripProperty(t *testing.T) {
+	f := func(thread uint16, event uint16, data []byte, eof bool) bool {
+		e := &OpenReadEntry{
+			EventID: ids.NetworkEventID{Thread: ids.ThreadNum(thread), Event: ids.EventNum(event)},
+			Data:    data,
+			EOF:     eof,
+		}
+		l := NewLog()
+		l.Append(e)
+		got, err := l.Entries()
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		d := got[0].(*OpenReadEntry)
+		return d.EventID == e.EventID && d.EOF == eof && bytes.Equal(d.Data, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRejectsCorruptStreams(t *testing.T) {
+	l := NewLog()
+	for _, e := range allEntryKinds() {
+		l.Append(e)
+	}
+	data := l.Bytes()
+
+	// Truncations at every prefix must either parse fewer entries or fail —
+	// never panic or invent entries.
+	whole, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		entries, err := Parse(data[:cut])
+		if err == nil && len(entries) >= len(whole) && cut < len(data) {
+			t.Fatalf("truncation at %d parsed %d entries", cut, len(entries))
+		}
+	}
+
+	// Unknown kind byte.
+	if _, err := Parse([]byte{0xEE, 1, 2, 3}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("unknown kind parsed: %v", err)
+	}
+
+	// Random corruption: flip bytes; must never panic.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		mut := append([]byte(nil), data...)
+		mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		Parse(mut) // outcome may be ok or error; must not panic
+	}
+}
+
+func TestLogSizeAndLen(t *testing.T) {
+	l := NewLog()
+	if l.Size() != 0 || l.Len() != 0 {
+		t.Fatal("empty log has nonzero size")
+	}
+	l.Append(&Interval{Thread: 1, First: 10, Last: 20})
+	if l.Size() == 0 || l.Len() != 1 {
+		t.Errorf("Size=%d Len=%d after one append", l.Size(), l.Len())
+	}
+}
+
+func TestSetSaveLoadRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "logs")
+	s := NewSet()
+	s.Schedule.Append(&VMMeta{VM: 4, World: ids.ClosedWorld, Threads: 2, FinalGC: 100})
+	s.Schedule.Append(&Interval{Thread: 0, First: 0, Last: 99})
+	s.Network.Append(&ReadEntry{EventID: ids.NetworkEventID{Thread: 0, Event: 0}, N: 7})
+	s.Datagram.Append(&DatagramRecvEntry{
+		EventID:  ids.NetworkEventID{Thread: 1, Event: 0},
+		Datagram: ids.DGNetworkEventID{VM: 9, GC: 3},
+	})
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSet(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.TotalSize() != s.TotalSize() {
+		t.Errorf("loaded size %d, saved %d", loaded.TotalSize(), s.TotalSize())
+	}
+	idx, err := BuildScheduleIndex(loaded.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Meta.VM != 4 || len(idx.Intervals[0]) != 1 {
+		t.Errorf("loaded schedule index wrong: %+v", idx)
+	}
+}
+
+func TestBuildScheduleIndexValidation(t *testing.T) {
+	// Missing meta.
+	l := NewLog()
+	l.Append(&Interval{Thread: 0, First: 0, Last: 5})
+	if _, err := BuildScheduleIndex(l); err == nil {
+		t.Error("schedule log without vm-meta accepted")
+	}
+
+	// Out-of-order intervals.
+	l2 := NewLog()
+	l2.Append(&VMMeta{VM: 1})
+	l2.Append(&Interval{Thread: 0, First: 10, Last: 20})
+	l2.Append(&Interval{Thread: 0, First: 15, Last: 30}) // overlaps
+	if _, err := BuildScheduleIndex(l2); err == nil {
+		t.Error("overlapping intervals accepted")
+	}
+
+	// Wrong record type in schedule log.
+	l3 := NewLog()
+	l3.Append(&VMMeta{VM: 1})
+	l3.Append(&ReadEntry{})
+	if _, err := BuildScheduleIndex(l3); err == nil {
+		t.Error("network record in schedule log accepted")
+	}
+}
+
+func TestBuildNetworkIndexValidation(t *testing.T) {
+	l := NewLog()
+	ev := ids.NetworkEventID{Thread: 1, Event: 1}
+	l.Append(&ReadEntry{EventID: ev, N: 5})
+	l.Append(&ReadEntry{EventID: ev, N: 6})
+	if _, err := BuildNetworkIndex(l); err == nil {
+		t.Error("duplicate read entries accepted")
+	}
+
+	l2 := NewLog()
+	l2.Append(&Interval{Thread: 0, First: 0, Last: 1})
+	if _, err := BuildNetworkIndex(l2); err == nil {
+		t.Error("schedule record in network log accepted")
+	}
+}
+
+func TestBuildDatagramIndexCountsDeliveries(t *testing.T) {
+	l := NewLog()
+	dg := ids.DGNetworkEventID{VM: 7, GC: 123}
+	for i := 0; i < 3; i++ {
+		l.Append(&DatagramRecvEntry{
+			EventID:  ids.NetworkEventID{Thread: 0, Event: ids.EventNum(i)},
+			Datagram: dg,
+		})
+	}
+	idx, err := BuildDatagramIndex(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Deliveries[dg] != 3 {
+		t.Errorf("delivery count %d, want 3 (duplicated datagram)", idx.Deliveries[dg])
+	}
+	if len(idx.ByEvent) != 3 {
+		t.Errorf("%d events indexed, want 3", len(idx.ByEvent))
+	}
+}
