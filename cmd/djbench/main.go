@@ -9,10 +9,14 @@
 //
 // Columns mirror the paper: #threads, #critical events, #nw events,
 // log size (bytes), and rec ovhd (%) — the percentage increase in execution
-// time of a recording run over the plain (passthrough) baseline.
+// time of a recording run over the plain (passthrough) baseline — plus the
+// obs-derived events/sec and bytes-logged columns. With -obs each table is
+// also emitted as JSON carrying the full observability snapshot per row
+// (feed it to `djstat -json` or any JSON tooling).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +32,7 @@ func main() {
 	threadList := flag.String("threads", "2,4,8,16,32", "comma-separated thread counts")
 	verify := flag.Bool("verify", false, "record and replay once, checking outcome equality")
 	logsize := flag.Bool("logsize", false, "run the message-size vs log-size sweep (§6 note)")
+	obsJSON := flag.Bool("obs", false, "also emit each table as JSON with per-row obs snapshots")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -69,25 +74,32 @@ func main() {
 		return
 	}
 
+	emit := func(t bench.Table) {
+		fmt.Println()
+		t.Print(os.Stdout)
+		if *obsJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(t); err != nil {
+				fatal(err)
+			}
+		}
+	}
 	if *table == "1" || *table == "all" {
 		srv, cli, err := bench.GenerateTable1(threads, *reps, progress)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println()
-		srv.Print(os.Stdout)
-		fmt.Println()
-		cli.Print(os.Stdout)
+		emit(srv)
+		emit(cli)
 	}
 	if *table == "2" || *table == "all" {
 		srv, cli, err := bench.GenerateTable2(threads, *reps, progress)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println()
-		srv.Print(os.Stdout)
-		fmt.Println()
-		cli.Print(os.Stdout)
+		emit(srv)
+		emit(cli)
 	}
 }
 

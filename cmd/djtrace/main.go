@@ -2,14 +2,17 @@
 //
 //	djtrace <logdir>              # summary + full dump
 //	djtrace -summary <logdir>     # summary only
+//	djtrace -json <logdir>        # machine-readable per-log summary
 //	djtrace -check <logdir>...    # validate log sets (cross-VM when several)
 //
 // It renders the schedule log (VM meta, logical schedule intervals, notify
 // payloads, checkpoints), the NetworkLogFile, and the RecordedDatagramLog in
-// human-readable form; -check runs the logcheck validator instead.
+// human-readable form; -json emits byte sizes, per-kind record counts and
+// interval/event totals as JSON; -check runs the logcheck validator instead.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,10 +23,11 @@ import (
 
 func main() {
 	summaryOnly := flag.Bool("summary", false, "print only per-log summaries")
+	asJSON := flag.Bool("json", false, "emit per-log summaries as JSON")
 	check := flag.Bool("check", false, "validate the log set(s) instead of dumping")
 	flag.Parse()
 	if flag.NArg() < 1 || (!*check && flag.NArg() != 1) {
-		fmt.Fprintln(os.Stderr, "usage: djtrace [-summary] <logdir> | djtrace -check <logdir>...")
+		fmt.Fprintln(os.Stderr, "usage: djtrace [-summary|-json] <logdir> | djtrace -check <logdir>...")
 		os.Exit(2)
 	}
 
@@ -51,9 +55,67 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *asJSON {
+		if err := emitJSON(os.Stdout, set); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	dump("schedule.log", set.Schedule, *summaryOnly)
 	dump("network.log", set.Network, *summaryOnly)
 	dump("datagram.log", set.Datagram, *summaryOnly)
+}
+
+// logSummary is the -json shape for one log file.
+type logSummary struct {
+	Bytes   int `json:"bytes"`
+	Records int `json:"records"`
+	// Kinds maps record-kind name to count.
+	Kinds map[string]int `json:"kinds"`
+	// Intervals and IntervalEvents summarize the logical schedule: the number
+	// of interval records and the total critical events they cover. Zero for
+	// the network and datagram logs.
+	Intervals      int    `json:"intervals,omitempty"`
+	IntervalEvents uint64 `json:"interval_events,omitempty"`
+}
+
+// setSummary is the top-level -json shape.
+type setSummary struct {
+	Schedule   logSummary `json:"schedule"`
+	Network    logSummary `json:"network"`
+	Datagram   logSummary `json:"datagram"`
+	TotalBytes int        `json:"total_bytes"`
+}
+
+func emitJSON(w *os.File, set *tracelog.Set) error {
+	var out setSummary
+	for _, f := range []struct {
+		log *tracelog.Log
+		dst *logSummary
+	}{
+		{set.Schedule, &out.Schedule},
+		{set.Network, &out.Network},
+		{set.Datagram, &out.Datagram},
+	} {
+		entries, err := f.log.Entries()
+		if err != nil {
+			return err
+		}
+		f.dst.Bytes = f.log.Size()
+		f.dst.Records = len(entries)
+		f.dst.Kinds = map[string]int{}
+		for _, e := range entries {
+			f.dst.Kinds[e.Kind().String()]++
+			if iv, ok := e.(*tracelog.Interval); ok {
+				f.dst.Intervals++
+				f.dst.IntervalEvents += uint64(iv.Last-iv.First) + 1
+			}
+		}
+	}
+	out.TotalBytes = set.TotalSize()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func dump(name string, l *tracelog.Log, summaryOnly bool) {

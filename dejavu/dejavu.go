@@ -39,6 +39,8 @@ package dejavu
 
 import (
 	"fmt"
+	"io"
+	"net/http"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -49,6 +51,7 @@ import (
 	"repro/internal/djsock"
 	"repro/internal/ids"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/tracelog"
 )
 
@@ -76,8 +79,22 @@ type (
 	SharedVar[T any] = core.SharedVar[T]
 	// ResumePoint identifies where a checkpoint-resumed replay picks up.
 	ResumePoint = core.ResumePoint
-	// Stats aggregates a node's event counters.
+	// Stats aggregates a node's event counters: the paper's two table
+	// columns. Snapshot is the full observability view.
 	Stats = core.Stats
+
+	// Snapshot is a consistent point-in-time view of a node's metrics:
+	// critical events by kind, network events, log volume per file, replay
+	// progress, and latency histograms. See Node.Snapshot.
+	Snapshot = obs.Snapshot
+	// EventCounts breaks a snapshot's critical-event total down by kind.
+	EventCounts = obs.EventCounts
+	// ReplayProgress is a snapshot's live replay-progress gauge set.
+	ReplayProgress = obs.ReplayProgress
+	// LogStats is a snapshot's per-log-file append/byte volume.
+	LogStats = obs.LogStats
+	// HistogramSnapshot is a snapshot of one latency histogram.
+	HistogramSnapshot = obs.HistogramSnapshot
 	// DivergenceError is thrown when a replayed execution departs from the
 	// recorded one.
 	DivergenceError = core.DivergenceError
@@ -180,6 +197,14 @@ type Config struct {
 	StallTimeout time.Duration
 	// EventObserver, when non-nil, is called inside every critical event
 	// with the executing thread and counter value — the debugger hook.
+	//
+	// Ordering contract: the callback always runs inside the GC-critical
+	// section, so invocations are totally ordered and the observed counter
+	// values are strictly increasing (0, 1, 2, ... from the start of the
+	// run). In replay mode this is exactly the recorded schedule order. The
+	// callback may block (a debugger breakpoint): critical events stop until
+	// it returns, and the stall watchdog will not fire a spurious stall
+	// while it blocks. It must not itself execute critical events.
 	EventObserver func(thread ThreadNum, gc GCount)
 }
 
@@ -242,6 +267,34 @@ func (n *Node) Logs() *Logs { return n.vm.Logs() }
 
 // Stats returns a snapshot of the node's event counters.
 func (n *Node) Stats() Stats { return n.vm.Stats() }
+
+// Snapshot returns the full observability view of the node: critical events
+// by kind, network events, log volume, replay progress, and latency
+// histograms. It is safe to call at any time, including while the node runs.
+func (n *Node) Snapshot() Snapshot { return n.vm.Metrics().Snapshot() }
+
+// MetricsHandler returns an http.Handler serving the node's metrics snapshot
+// as JSON — mount it wherever the application serves debug endpoints, or use
+// ServeMetrics for a standalone listener. cmd/djstat consumes this format.
+func (n *Node) MetricsHandler() http.Handler { return obs.Handler(n.vm.Metrics()) }
+
+// ServeMetrics starts a standalone HTTP listener on addr (use
+// "127.0.0.1:0" for an ephemeral port) serving the node's metrics snapshot
+// as JSON. It returns the bound address — point `djstat -watch
+// http://<addr>` at it — and a stop function closing the listener.
+func (n *Node) ServeMetrics(addr string) (boundAddr string, stop func(), err error) {
+	return obs.Serve(addr, n.vm.Metrics())
+}
+
+// PublishExpvar registers the node's metrics in the process-global expvar
+// registry under name (idempotent), making them visible on /debug/vars.
+func (n *Node) PublishExpvar(name string) { obs.Publish(name, n.vm.Metrics()) }
+
+// StartReporter periodically writes a human-readable metrics report to w
+// until the returned stop function is called (stop writes one final report).
+func (n *Node) StartReporter(w io.Writer, every time.Duration) (stop func()) {
+	return obs.StartReporter(w, every, n.vm.Metrics())
+}
 
 // Mode reports the node's execution mode.
 func (n *Node) Mode() Mode { return n.vm.Mode() }

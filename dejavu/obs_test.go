@@ -1,0 +1,154 @@
+package dejavu_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/dejavu"
+)
+
+// obsEchoWorld runs a two-node echo application and returns both nodes.
+func obsEchoWorld(t *testing.T, mode dejavu.Mode, serverLogs, clientLogs *dejavu.Logs) (server, client *dejavu.Node) {
+	t.Helper()
+	net := dejavu.NewNetwork(dejavu.NetworkConfig{
+		Chaos: dejavu.Chaos{DeliverDelayMax: 100 * time.Microsecond, MaxSegment: 4},
+		Seed:  42,
+	})
+	mk := func(id dejavu.DJVMID, host string, logs *dejavu.Logs) *dejavu.Node {
+		node, err := dejavu.NewNode(dejavu.Config{
+			ID: id, Mode: mode, World: dejavu.ClosedWorld,
+			Network: net, Host: host, ReplayLogs: logs, RecordJitter: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return node
+	}
+	server = mk(41, "srv", serverLogs)
+	client = mk(42, "cli", clientLogs)
+
+	port := make(chan uint16, 1)
+	server.Start(func(main *dejavu.Thread) {
+		ss, err := server.Listen(main, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		port <- ss.Port()
+		conn, err := ss.Accept(main)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 8)
+		if err := conn.ReadFull(main, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := conn.Write(main, buf); err != nil {
+			t.Error(err)
+		}
+		conn.Close(main)
+	})
+	client.Start(func(main *dejavu.Thread) {
+		var shared dejavu.SharedInt
+		for i := 0; i < 20; i++ {
+			shared.Add(main, 1)
+		}
+		conn, err := client.Connect(main, dejavu.Addr{Host: "srv", Port: <-port})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		msg := []byte("ping-msg")
+		if _, err := conn.Write(main, msg); err != nil {
+			t.Error(err)
+			return
+		}
+		echo := make([]byte, len(msg))
+		if err := conn.ReadFull(main, echo); err != nil {
+			t.Error(err)
+			return
+		}
+		if string(echo) != string(msg) {
+			t.Errorf("echo %q, want %q", echo, msg)
+		}
+		conn.Close(main)
+	})
+	server.Wait()
+	client.Wait()
+	server.Close()
+	client.Close()
+	return server, client
+}
+
+// TestNodeSnapshotRecordReplayCounts is the facade-level integration check:
+// per-kind obs counts of a distributed record run equal the replayed run's,
+// including the socket kind the core-level test cannot produce.
+func TestNodeSnapshotRecordReplayCounts(t *testing.T) {
+	recSrv, recCli := obsEchoWorld(t, dejavu.Record, nil, nil)
+	rs, rc := recSrv.Snapshot(), recCli.Snapshot()
+	if rs.Events.Socket == 0 || rc.Events.Socket == 0 {
+		t.Fatalf("echo world produced no socket events: server %+v client %+v", rs.Events, rc.Events)
+	}
+	if rc.Events.Shared == 0 {
+		t.Fatalf("client recorded no shared events: %+v", rc.Events)
+	}
+	if rs.NetworkEvents == 0 {
+		t.Error("server counted no network events")
+	}
+	if rs.Logs.TotalBytes() == 0 {
+		t.Error("record run logged no bytes")
+	}
+
+	repSrv, repCli := obsEchoWorld(t, dejavu.Replay, recSrv.Logs(), recCli.Logs())
+	if got := repSrv.Snapshot(); got.Events != rs.Events {
+		t.Errorf("server per-kind counts diverged:\nrecord %+v\nreplay %+v", rs.Events, got.Events)
+	}
+	if got := repCli.Snapshot(); got.Events != rc.Events {
+		t.Errorf("client per-kind counts diverged:\nrecord %+v\nreplay %+v", rc.Events, got.Events)
+	}
+	if pct := repSrv.Snapshot().Replay.Percent(); pct != 100 {
+		t.Errorf("server replay finished at %.1f%%", pct)
+	}
+}
+
+// TestNodeServeMetrics serves a node's metrics over HTTP the way djstat
+// consumes them and checks the JSON decodes back into an identical snapshot.
+func TestNodeServeMetrics(t *testing.T) {
+	srv, _ := obsEchoWorld(t, dejavu.Record, nil, nil)
+
+	addr, stop, err := srv.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got dejavu.Snapshot
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("endpoint did not serve a snapshot: %v", err)
+	}
+	want := srv.Snapshot()
+	if got.Events != want.Events || got.TotalEvents != want.TotalEvents || got.Logs != want.Logs {
+		t.Errorf("served snapshot differs:\ngot  %+v\nwant %+v", got.Events, want.Events)
+	}
+
+	var report strings.Builder
+	stopRep := srv.StartReporter(&report, time.Hour)
+	stopRep()
+	if !strings.Contains(report.String(), "events") {
+		t.Errorf("reporter wrote nothing useful:\n%s", report.String())
+	}
+}

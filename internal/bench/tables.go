@@ -7,33 +7,48 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 )
 
-// Row is one line of a Table 1 / Table 2 style table.
+// Row is one line of a Table 1 / Table 2 style table. The paper's columns
+// come first; EventsPerSec and Obs are derived from the observability layer
+// (the log-size column is cross-checked against Obs.Logs by the tests).
 type Row struct {
-	Threads        int
-	CriticalEvents uint64
-	NetworkEvents  uint64
-	LogBytes       int
-	RecOvhdPct     float64
+	Threads        int          `json:"threads"`
+	CriticalEvents uint64       `json:"critical_events"`
+	NetworkEvents  uint64       `json:"network_events"`
+	LogBytes       int          `json:"log_bytes"`
+	RecOvhdPct     float64      `json:"rec_ovhd_pct"`
+	EventsPerSec   float64      `json:"events_per_sec"`
+	Obs            obs.Snapshot `json:"obs"`
 }
 
 // Table is one of the paper's result tables (e.g. "Table 1(a) Server").
 type Table struct {
-	Name string
-	Rows []Row
+	Name string `json:"name"`
+	Rows []Row  `json:"rows"`
 }
 
-// Print renders the table in the paper's column layout.
+// Print renders the table in the paper's column layout, extended with the
+// obs-derived events/sec and bytes-logged columns.
 func (t Table) Print(w io.Writer) {
 	fmt.Fprintf(w, "%s\n", t.Name)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
-	fmt.Fprintln(tw, "#threads\t#critical events\t#nw events\tlog size(bytes)\trec ovhd(%)\t")
+	fmt.Fprintln(tw, "#threads\t#critical events\t#nw events\tlog size(bytes)\trec ovhd(%)\tevents/sec\tbytes logged\t")
 	for _, r := range t.Rows {
-		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.2f\t\n",
-			r.Threads, r.CriticalEvents, r.NetworkEvents, r.LogBytes, r.RecOvhdPct)
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%.2f\t%.0f\t%d\t\n",
+			r.Threads, r.CriticalEvents, r.NetworkEvents, r.LogBytes, r.RecOvhdPct,
+			r.EventsPerSec, r.Obs.Logs.TotalBytes())
 	}
 	tw.Flush()
+}
+
+// eps converts an event count over a wall-time duration into events/sec.
+func eps(events uint64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(events) / d.Seconds()
 }
 
 // DefaultThreadCounts is the paper's thread-count sweep.
@@ -100,6 +115,8 @@ func GenerateTable1(threadCounts []int, reps int, progress func(string)) (server
 			NetworkEvents:  rec.Server.NetworkEvents,
 			LogBytes:       rec.Server.LogBytes,
 			RecOvhdPct:     pct,
+			EventsPerSec:   eps(rec.Server.Obs.TotalEvents, recDur),
+			Obs:            rec.Server.Obs,
 		})
 		client.Rows = append(client.Rows, Row{
 			Threads:        n,
@@ -107,6 +124,8 @@ func GenerateTable1(threadCounts []int, reps int, progress func(string)) (server
 			NetworkEvents:  rec.Client.NetworkEvents,
 			LogBytes:       rec.Client.LogBytes,
 			RecOvhdPct:     pct,
+			EventsPerSec:   eps(rec.Client.Obs.TotalEvents, recDur),
+			Obs:            rec.Client.Obs,
 		})
 	}
 	return server, client, nil
@@ -142,6 +161,8 @@ func GenerateTable2(threadCounts []int, reps int, progress func(string)) (server
 			NetworkEvents:  recS.Server.NetworkEvents,
 			LogBytes:       recS.Server.LogBytes,
 			RecOvhdPct:     ovhd(baseDur, durS),
+			EventsPerSec:   eps(recS.Server.Obs.TotalEvents, durS),
+			Obs:            recS.Server.Obs,
 		})
 
 		if progress != nil {
@@ -159,6 +180,8 @@ func GenerateTable2(threadCounts []int, reps int, progress func(string)) (server
 			NetworkEvents:  recC.Client.NetworkEvents,
 			LogBytes:       recC.Client.LogBytes,
 			RecOvhdPct:     ovhd(baseDur, durC),
+			EventsPerSec:   eps(recC.Client.Obs.TotalEvents, durC),
+			Obs:            recC.Client.Obs,
 		})
 	}
 	return server, client, nil

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/tracelog"
 )
 
@@ -48,13 +49,13 @@ func Take(t *core.Thread, save func() []byte) {
 	if vm.Mode() == ids.Replay {
 		// The record-phase checkpoint was a critical event; replay must
 		// consume its schedule slot to stay aligned, but captures nothing.
-		t.Critical(func(ids.GCount) {})
+		t.CriticalKind(obs.KindCheckpoint, func(ids.GCount) {})
 		return
 	}
 	if vm.Mode() != ids.Record {
 		return
 	}
-	t.Critical(func(gc ids.GCount) {
+	t.CriticalKind(obs.KindCheckpoint, func(gc ids.GCount) {
 		vm.Logs().Schedule.Append(&tracelog.CheckpointEntry{
 			GC:           gc,
 			NextThread:   uint32(vm.NextThreadNum()),

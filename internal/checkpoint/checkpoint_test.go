@@ -118,6 +118,21 @@ func TestCheckpointResumeReplaysTail(t *testing.T) {
 		}
 	}
 	_ = savedCounter
+
+	// The observability layer accounts for the recorded events the resume
+	// skipped: everything before the checkpoint's counter was fast-forwarded,
+	// not executed.
+	s := repVM.Metrics().Snapshot()
+	if s.FastForwardSkips == 0 {
+		t.Error("resumed replay reported no fast-forward skips")
+	}
+	if s.FastForwardSkips+s.TotalEvents < uint64(second.GC) {
+		t.Errorf("skipped %d + executed %d events cannot cover the %d pre-checkpoint events",
+			s.FastForwardSkips, s.TotalEvents, second.GC)
+	}
+	if s.Events.Checkpoint == 0 {
+		t.Error("replayed tail contains checkpoints but none were counted")
+	}
 }
 
 func TestLatestWithoutCheckpoint(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/tracelog"
 )
 
@@ -62,7 +63,7 @@ func (m *Monitor) unlock() { m.lk <- struct{}{} }
 
 // Enter acquires the monitor (monitorenter).
 func (m *Monitor) Enter(t *Thread) {
-	t.Blocking(func() { m.acquire(t.num) }, func(ids.GCount) {})
+	t.BlockingKind(obs.KindMonitorEnter, func() { m.acquire(t.num) }, func(ids.GCount) {})
 }
 
 // acquire blocks until the monitor is free and takes it. FIFO handoff keeps
@@ -85,7 +86,7 @@ func (m *Monitor) acquire(tn ids.ThreadNum) {
 
 // Exit releases the monitor (monitorexit).
 func (m *Monitor) Exit(t *Thread) {
-	t.Critical(func(ids.GCount) { m.release(t, "monitorexit") })
+	t.CriticalKind(obs.KindMonitorExit, func(ids.GCount) { m.release(t, "monitorexit") })
 }
 
 // release hands the monitor to the next queued enterer, or frees it.
@@ -120,7 +121,7 @@ func (m *Monitor) Wait(t *Thread) {
 	var p *parked
 	// First critical event: move self to the wait set and release the
 	// monitor, atomically with the counter tick.
-	t.Critical(func(ids.GCount) {
+	t.CriticalKind(obs.KindWait, func(ids.GCount) {
 		m.lock()
 		if !m.held || m.holder != t.num {
 			m.unlock()
@@ -136,7 +137,7 @@ func (m *Monitor) Wait(t *Thread) {
 	// Second critical event: re-acquire the monitor. Counter assigned at
 	// completion in record mode, so replay finds the monitor free at this
 	// event's turn.
-	t.Blocking(func() { m.acquire(t.num) }, func(ids.GCount) {})
+	t.BlockingKind(obs.KindWait, func() { m.acquire(t.num) }, func(ids.GCount) {})
 }
 
 // TimedWait is Object.wait(timeout): it releases the monitor and blocks
@@ -175,7 +176,7 @@ func (m *Monitor) TimedWait(t *Thread, d time.Duration) (timedOut bool) {
 	}
 
 	if vm.mode == ids.Record {
-		t.Critical(enter)
+		t.CriticalKind(obs.KindWait, enter)
 		timer := time.NewTimer(d)
 		check := false
 		select {
@@ -183,7 +184,7 @@ func (m *Monitor) TimedWait(t *Thread, d time.Duration) (timedOut bool) {
 			timer.Stop()
 		case <-timer.C:
 			check = true
-			t.Critical(func(ids.GCount) {
+			t.CriticalKind(obs.KindWait, func(ids.GCount) {
 				m.lock()
 				timedOut = m.removeParked(p)
 				m.unlock()
@@ -194,18 +195,18 @@ func (m *Monitor) TimedWait(t *Thread, d time.Duration) (timedOut bool) {
 			}
 		}
 		vm.logs.Schedule.Append(&tracelog.TimedWaitEntry{GC: c0, Check: check, TimedOut: timedOut})
-		t.Blocking(func() { m.acquire(t.num) }, func(ids.GCount) {})
+		t.BlockingKind(obs.KindWait, func() { m.acquire(t.num) }, func(ids.GCount) {})
 		return timedOut
 	}
 
 	// Replay.
-	t.Critical(enter)
+	t.CriticalKind(obs.KindWait, enter)
 	entry, ok := vm.schedIdx.TimedWaits[c0]
 	if !ok {
 		t.diverge("timed wait entered at counter %d has no recorded resolution", c0)
 	}
 	if entry.Check {
-		t.Critical(func(ids.GCount) {
+		t.CriticalKind(obs.KindWait, func(ids.GCount) {
 			if entry.TimedOut {
 				m.lock()
 				if !m.removeParked(p) {
@@ -221,7 +222,7 @@ func (m *Monitor) TimedWait(t *Thread, d time.Duration) (timedOut bool) {
 	if !entry.TimedOut {
 		<-p.ch
 	}
-	t.Blocking(func() { m.acquire(t.num) }, func(ids.GCount) {})
+	t.BlockingKind(obs.KindWait, func() { m.acquire(t.num) }, func(ids.GCount) {})
 	return entry.TimedOut
 }
 
@@ -276,7 +277,7 @@ func (m *Monitor) NotifyAll(t *Thread) { m.notify(t, true) }
 
 func (m *Monitor) notify(t *Thread, all bool) {
 	vm := t.vm
-	t.Critical(func(gc ids.GCount) {
+	t.CriticalKind(obs.KindNotify, func(gc ids.GCount) {
 		m.lock()
 		if !m.held || m.holder != t.num {
 			m.unlock()

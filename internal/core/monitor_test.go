@@ -253,22 +253,26 @@ func TestFastForward(t *testing.T) {
 		{Thread: 0, First: 40, Last: 49},
 	}
 	cases := []struct {
-		at        ids.GCount
-		wantLen   int
-		wantFirst ids.GCount
+		at          ids.GCount
+		wantLen     int
+		wantFirst   ids.GCount
+		wantSkipped uint64
 	}{
-		{at: 0, wantLen: 3, wantFirst: 0},
-		{at: 5, wantLen: 3, wantFirst: 5},
-		{at: 10, wantLen: 2, wantFirst: 20},
-		{at: 25, wantLen: 2, wantFirst: 25},
-		{at: 45, wantLen: 1, wantFirst: 45},
-		{at: 50, wantLen: 0},
+		{at: 0, wantLen: 3, wantFirst: 0, wantSkipped: 0},
+		{at: 5, wantLen: 3, wantFirst: 5, wantSkipped: 5},
+		{at: 10, wantLen: 2, wantFirst: 20, wantSkipped: 10},
+		{at: 25, wantLen: 2, wantFirst: 25, wantSkipped: 15},
+		{at: 45, wantLen: 1, wantFirst: 45, wantSkipped: 25},
+		{at: 50, wantLen: 0, wantSkipped: 30},
 	}
 	for _, c := range cases {
-		got := fastForward(sched, c.at)
+		got, skipped := fastForward(sched, c.at)
 		if len(got) != c.wantLen {
 			t.Errorf("fastForward(at=%d) kept %d intervals, want %d", c.at, len(got), c.wantLen)
 			continue
+		}
+		if skipped != c.wantSkipped {
+			t.Errorf("fastForward(at=%d) skipped %d events, want %d", c.at, skipped, c.wantSkipped)
 		}
 		if c.wantLen > 0 && got[0].First != c.wantFirst {
 			t.Errorf("fastForward(at=%d) first = %d, want %d", c.at, got[0].First, c.wantFirst)

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 )
 
 // SharedInt is a shared integer variable. Every access is a critical event
@@ -25,7 +26,7 @@ func (s *SharedInt) Get(t *Thread) int64 {
 		return v
 	}
 	var out int64
-	t.Critical(func(ids.GCount) { out = s.v })
+	t.CriticalKind(obs.KindShared, func(ids.GCount) { out = s.v })
 	return out
 }
 
@@ -36,7 +37,7 @@ func (s *SharedInt) Set(t *Thread, v int64) {
 		t.maybeYield()
 		return
 	}
-	t.Critical(func(ids.GCount) { s.v = v })
+	t.CriticalKind(obs.KindShared, func(ids.GCount) { s.v = v })
 }
 
 // Add atomically adds delta as a single critical event and returns the new
@@ -50,7 +51,7 @@ func (s *SharedInt) Add(t *Thread, delta int64) int64 {
 		return v
 	}
 	var out int64
-	t.Critical(func(ids.GCount) {
+	t.CriticalKind(obs.KindShared, func(ids.GCount) {
 		s.v += delta
 		out = s.v
 	})
@@ -91,7 +92,7 @@ func (s *SharedVar[T]) Get(t *Thread) T {
 		return v
 	}
 	var out T
-	t.Critical(func(ids.GCount) { out = s.v })
+	t.CriticalKind(obs.KindShared, func(ids.GCount) { out = s.v })
 	return out
 }
 
@@ -104,7 +105,7 @@ func (s *SharedVar[T]) Set(t *Thread, v T) {
 		t.maybeYield()
 		return
 	}
-	t.Critical(func(ids.GCount) { s.v = v })
+	t.CriticalKind(obs.KindShared, func(ids.GCount) { s.v = v })
 }
 
 // Restore writes the variable without generating a critical event; see
@@ -135,7 +136,7 @@ func (s *SharedVar[T]) Update(t *Thread, fn func(T) T) T {
 		return v
 	}
 	var out T
-	t.Critical(func(ids.GCount) {
+	t.CriticalKind(obs.KindShared, func(ids.GCount) {
 		s.v = fn(s.v)
 		out = s.v
 	})

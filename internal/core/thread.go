@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/tracelog"
 )
 
@@ -119,21 +120,30 @@ func (t *Thread) diverge(format string, args ...any) {
 //
 // op must not block on any other thread's critical event, or the VM
 // deadlocks — that is what Blocking is for.
+//
+// Events issued through Critical are attributed to obs.KindOther in the VM's
+// metrics; runtime subsystems use CriticalKind to tag their events.
 func (t *Thread) Critical(op func(gc ids.GCount)) {
+	t.CriticalKind(obs.KindOther, op)
+}
+
+// CriticalKind is Critical with an explicit event-kind tag for the per-kind
+// counters of the observability layer.
+func (t *Thread) CriticalKind(kind obs.EventKind, op func(gc ids.GCount)) {
 	vm := t.vm
 	switch vm.mode {
 	case ids.Passthrough:
 		op(0)
 		t.maybeYield()
 	case ids.Record:
-		vm.recordEvent(t, op)
+		vm.recordEvent(t, kind, op)
 		t.maybeYield()
 	case ids.Replay:
 		next, ok := t.nextScheduled()
 		if !ok {
 			t.diverge("critical event attempted beyond recorded schedule")
 		}
-		vm.replayEvent(t, next, op)
+		vm.replayEvent(t, kind, next, op)
 		t.advanceCursor()
 	}
 }
@@ -143,31 +153,35 @@ func (t *Thread) Critical(op func(gc ids.GCount)) {
 // keeps the VM consistent when op panics (e.g. a MonitorStateError the
 // application recovers from): the counter has not ticked and no interval was
 // extended, as if the event never happened.
-func (vm *VM) recordEvent(t *Thread, op func(gc ids.GCount)) {
+func (vm *VM) recordEvent(t *Thread, kind obs.EventKind, op func(gc ids.GCount)) {
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	gc := vm.clock
+	start := time.Now()
 	op(gc)
 	if vm.observer != nil {
 		vm.observer(t.num, gc)
 	}
+	vm.metrics.ObserveGCHold(time.Since(start))
 	vm.clock++
-	vm.stats.CriticalEvents++
+	vm.metrics.IncEvent(kind, uint64(vm.clock))
 	t.extendIntervalLocked(gc)
 }
 
 // replayEvent waits for the event's turn, executes it, and advances the
 // counter (§2.2).
-func (vm *VM) replayEvent(t *Thread, next ids.GCount, op func(gc ids.GCount)) {
+func (vm *VM) replayEvent(t *Thread, kind obs.EventKind, next ids.GCount, op func(gc ids.GCount)) {
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	vm.waitTurnLocked(t, next)
+	start := time.Now()
 	op(next)
 	if vm.observer != nil {
 		vm.observer(t.num, next)
 	}
+	vm.metrics.ObserveGCHold(time.Since(start))
 	vm.clock++
-	vm.stats.CriticalEvents++
+	vm.metrics.IncEvent(kind, uint64(vm.clock))
 	vm.cond.Broadcast()
 }
 
@@ -180,8 +194,18 @@ func (vm *VM) awaitTurn(t *Thread, next ids.GCount) {
 }
 
 // waitTurnLocked parks the thread until the global counter reaches next,
-// registering it for the stall watchdog. Caller holds vm.mu.
+// registering it for the stall watchdog and the parked-thread gauge, and
+// feeding the turn-wait latency histogram. Caller holds vm.mu.
 func (vm *VM) waitTurnLocked(t *Thread, next ids.GCount) {
+	if vm.clock == next {
+		return // its turn already: no wait to observe
+	}
+	start := time.Now()
+	vm.metrics.IncParked()
+	defer func() {
+		vm.metrics.DecParked()
+		vm.metrics.ObserveTurnWait(time.Since(start))
+	}()
 	for vm.clock != next {
 		if vm.stalled {
 			panic(&DivergenceError{
@@ -215,7 +239,16 @@ func (vm *VM) waitTurnLocked(t *Thread, next ids.GCount) {
 //     counters are assigned at completion, every event op causally depends
 //     on has a smaller counter, so op cannot block indefinitely here.
 //   - Passthrough: op runs bare; mark is skipped.
+//
+// Events issued through Blocking are attributed to obs.KindOther in the VM's
+// metrics; runtime subsystems use BlockingKind to tag their events.
 func (t *Thread) Blocking(op func(), mark func(gc ids.GCount)) {
+	t.BlockingKind(obs.KindOther, op, mark)
+}
+
+// BlockingKind is Blocking with an explicit event-kind tag for the per-kind
+// counters of the observability layer.
+func (t *Thread) BlockingKind(kind obs.EventKind, op func(), mark func(gc ids.GCount)) {
 	vm := t.vm
 	switch vm.mode {
 	case ids.Passthrough:
@@ -223,7 +256,7 @@ func (t *Thread) Blocking(op func(), mark func(gc ids.GCount)) {
 		t.maybeYield()
 	case ids.Record:
 		op()
-		vm.recordEvent(t, mark)
+		vm.recordEvent(t, kind, mark)
 		t.maybeYield()
 	case ids.Replay:
 		next, ok := t.nextScheduled()
@@ -232,7 +265,7 @@ func (t *Thread) Blocking(op func(), mark func(gc ids.GCount)) {
 		}
 		vm.awaitTurn(t, next)
 		op()
-		vm.replayEvent(t, next, func(gc ids.GCount) {
+		vm.replayEvent(t, kind, next, func(gc ids.GCount) {
 			// Only this thread may advance the counter past next, so the
 			// inner turn wait returns immediately; the shared path keeps the
 			// panic-safety discipline in one place.
@@ -245,15 +278,13 @@ func (t *Thread) Blocking(op func(), mark func(gc ids.GCount)) {
 // CountNetworkEvent bumps the VM's network-event counter (the "#nw events"
 // column of the tables). Called by the socket layer once per network event,
 // in record and replay modes alike — event identification is independent of
-// the recording methodology (§6).
+// the recording methodology (§6). Lock-free: a single atomic add.
 func (t *Thread) CountNetworkEvent() {
 	vm := t.vm
 	if vm.mode == ids.Passthrough {
 		return
 	}
-	vm.mu.Lock()
-	vm.stats.NetworkEvents++
-	vm.mu.Unlock()
+	vm.metrics.IncNetworkEvent()
 }
 
 // Join blocks until the other thread's function has returned —
@@ -264,7 +295,7 @@ func (t *Thread) Join(other *Thread) {
 	if other == t {
 		panic("core: thread joining itself")
 	}
-	t.Blocking(func() { <-other.done }, func(ids.GCount) {})
+	t.BlockingKind(obs.KindThread, func() { <-other.done }, func(ids.GCount) {})
 }
 
 // Sleep suspends the thread for d — Thread.sleep. The wakeup is a blocking
@@ -277,9 +308,9 @@ func (t *Thread) Sleep(d time.Duration) {
 	case ids.Passthrough:
 		time.Sleep(d)
 	case ids.Record:
-		t.Blocking(func() { time.Sleep(d) }, func(ids.GCount) {})
+		t.BlockingKind(obs.KindThread, func() { time.Sleep(d) }, func(ids.GCount) {})
 	case ids.Replay:
-		t.Blocking(func() {}, func(ids.GCount) {})
+		t.BlockingKind(obs.KindThread, func() {}, func(ids.GCount) {})
 	}
 }
 
@@ -294,7 +325,7 @@ func (t *Thread) Spawn(fn func(t *Thread)) *Thread {
 		child = vm.newThreadLocked()
 		vm.threadsMu.Unlock()
 	} else {
-		t.Critical(func(ids.GCount) {
+		t.CriticalKind(obs.KindThread, func(ids.GCount) {
 			vm.threadsMu.Lock()
 			child = vm.newThreadLocked()
 			vm.threadsMu.Unlock()
@@ -329,6 +360,7 @@ func (t *Thread) flushIntervalLocked() {
 			First:  t.intFirst,
 			Last:   t.intLast,
 		})
+		t.vm.metrics.IncInterval()
 	}
 }
 

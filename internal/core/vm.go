@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/tracelog"
 )
 
@@ -68,9 +69,17 @@ type Config struct {
 	// critical event (record and replay modes), with the executing thread
 	// and the event's counter value. It is the hook debugger front-ends
 	// build on: watching replay progress, breaking at a counter value (block
-	// inside the callback), or cross-checking a record/replay pair. The
-	// callback runs inside the GC-critical section: it must not itself
-	// execute critical events.
+	// inside the callback), or cross-checking a record/replay pair.
+	//
+	// Ordering contract: because the callback runs inside the GC-critical
+	// section, invocations are totally ordered and the observed counter
+	// values are strictly increasing — gc is exactly 0, 1, 2, ... from the
+	// start of the run (or from the resume counter). In replay mode this is
+	// the recorded schedule order. The callback may block: the VM's critical
+	// events pause until it returns, and the stall watchdog does not fire a
+	// spurious stall while it blocks (the watchdog's progress check itself
+	// serializes behind the GC-critical section). The callback must not
+	// itself execute critical events.
 	EventObserver func(thread ids.ThreadNum, gc ids.GCount)
 	// RecordJitter, when > 0, makes each thread yield the processor with
 	// probability 1/RecordJitter after executing a critical event in record
@@ -133,12 +142,16 @@ type VM struct {
 	resume     *ResumePoint
 	activeWork sync.WaitGroup
 
-	stats Stats
+	// metrics is the VM's always-on observability layer (internal/obs):
+	// atomic per-kind event counters, log-volume counters, replay-progress
+	// gauges, and latency histograms. Never nil.
+	metrics *obs.Metrics
 
 	closed bool
 }
 
-// Stats aggregates the quantities the paper's tables report for one VM.
+// Stats aggregates the quantities the paper's tables report for one VM. It is
+// the compact historical view; Metrics carries the full breakdown.
 type Stats struct {
 	// CriticalEvents is the total number of critical events executed
 	// (the "#critical events" column of Tables 1 and 2).
@@ -152,10 +165,11 @@ type Stats struct {
 // recorded by the previous run must be supplied and are indexed up front.
 func NewVM(cfg Config) (*VM, error) {
 	vm := &VM{
-		id:    cfg.ID,
-		mode:  cfg.Mode,
-		world: cfg.World,
-		peers: cfg.DJVMPeers,
+		id:      cfg.ID,
+		mode:    cfg.Mode,
+		world:   cfg.World,
+		peers:   cfg.DJVMPeers,
+		metrics: &obs.Metrics{},
 	}
 	if cfg.RecordJitter > 0 {
 		vm.jitter = uint64(cfg.RecordJitter)
@@ -165,6 +179,10 @@ func NewVM(cfg Config) (*VM, error) {
 	switch cfg.Mode {
 	case ids.Record:
 		vm.logs = tracelog.NewSet()
+		m := vm.metrics
+		vm.logs.Schedule.SetObserver(func(n int) { m.LogAppend(obs.LogSchedule, n) })
+		vm.logs.Network.SetObserver(func(n int) { m.LogAppend(obs.LogNetwork, n) })
+		vm.logs.Datagram.SetObserver(func(n int) { m.LogAppend(obs.LogDatagram, n) })
 	case ids.Replay:
 		if cfg.ReplayLogs == nil {
 			return nil, fmt.Errorf("core: replay VM %d needs ReplayLogs", cfg.ID)
@@ -188,14 +206,17 @@ func NewVM(cfg Config) (*VM, error) {
 			return nil, fmt.Errorf("core: vm %d: datagram log: %w", cfg.ID, err)
 		}
 		vm.schedIdx, vm.netIdx, vm.dgIdx = sched, netIdx, dgIdx
+		vm.metrics.SetFinalGC(uint64(sched.Meta.FinalGC))
 		if cfg.Resume != nil {
 			vm.resume = cfg.Resume
 			vm.clock = cfg.Resume.GC
 			vm.nextThread = cfg.Resume.NextThread
+			vm.metrics.SetClock(uint64(cfg.Resume.GC))
 		}
 		vm.waiters = make(map[ids.ThreadNum]ids.GCount)
 		if cfg.StallTimeout > 0 {
 			vm.stopWatchdog = make(chan struct{})
+			vm.metrics.SetWatchdogArmed(true)
 			go vm.watchdog(cfg.StallTimeout)
 		}
 	case ids.Passthrough:
@@ -251,12 +272,19 @@ func (vm *VM) Clock() ids.GCount {
 	return vm.clock
 }
 
-// Stats returns a snapshot of the VM's event counters.
+// Stats returns a compact snapshot of the VM's event counters — the two
+// columns of the paper's tables. The full breakdown lives on Metrics.
 func (vm *VM) Stats() Stats {
-	vm.mu.Lock()
-	defer vm.mu.Unlock()
-	return vm.stats
+	return Stats{
+		CriticalEvents: vm.metrics.TotalEvents(),
+		NetworkEvents:  vm.metrics.NetworkEvents(),
+	}
 }
+
+// Metrics exposes the VM's observability layer. The returned value is live:
+// its counters keep moving while the VM runs, and Snapshot() assembles
+// consistent point-in-time views.
+func (vm *VM) Metrics() *obs.Metrics { return vm.metrics }
 
 // Start creates the VM's initial thread (threadNum 0) running fn and returns
 // immediately. Exactly one Start call is allowed per VM.
@@ -288,7 +316,9 @@ func (vm *VM) newThreadLocked() *Thread {
 	if vm.mode == ids.Replay {
 		t.schedule = vm.schedIdx.Intervals[t.num]
 		if vm.resume != nil {
-			t.schedule = fastForward(t.schedule, vm.resume.GC)
+			trimmed, skipped := fastForward(t.schedule, vm.resume.GC)
+			t.schedule = trimmed
+			vm.metrics.AddFastForwardSkips(skipped)
 		}
 	}
 	vm.threads = append(vm.threads, t)
@@ -296,19 +326,22 @@ func (vm *VM) newThreadLocked() *Thread {
 }
 
 // fastForward trims a thread's schedule to the critical events at or after
-// the resume counter.
-func fastForward(schedule []tracelog.Interval, at ids.GCount) []tracelog.Interval {
+// the resume counter, reporting how many recorded events were skipped.
+func fastForward(schedule []tracelog.Interval, at ids.GCount) ([]tracelog.Interval, uint64) {
 	var out []tracelog.Interval
+	var skipped uint64
 	for _, iv := range schedule {
 		if iv.Last < at {
+			skipped += uint64(iv.Last-iv.First) + 1
 			continue
 		}
 		if iv.First < at {
+			skipped += uint64(at - iv.First)
 			iv.First = at
 		}
 		out = append(out, iv)
 	}
-	return out
+	return out, skipped
 }
 
 // launch runs fn on its own goroutine, closing the thread's final interval
@@ -333,6 +366,7 @@ func (vm *VM) Wait() {
 // timeout while threads are parked on their turns, it flips the stall flag
 // and wakes them to fail with diagnostics.
 func (vm *VM) watchdog(timeout time.Duration) {
+	defer vm.metrics.SetWatchdogArmed(false)
 	tick := time.NewTicker(timeout / 4)
 	defer tick.Stop()
 	lastClock := ids.GCount(0)
@@ -350,6 +384,7 @@ func (vm *VM) watchdog(timeout time.Duration) {
 			lastChange = time.Now()
 		case len(vm.waiters) > 0 && time.Since(lastChange) >= timeout:
 			vm.stalled = true
+			vm.metrics.SetStalled()
 			vm.cond.Broadcast()
 			vm.mu.Unlock()
 			return

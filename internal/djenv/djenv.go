@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/tracelog"
 )
 
@@ -75,7 +76,7 @@ func (s *Source) query(t *core.Thread, op string, sample func() uint64, signed b
 	var out uint64
 	switch vm.Mode() {
 	case ids.Record:
-		t.Critical(func(ids.GCount) {
+		t.CriticalKind(obs.KindEnv, func(ids.GCount) {
 			out = sample()
 			vm.Logs().Network.Append(&tracelog.EnvEntry{
 				EventID: eventID,
@@ -85,7 +86,7 @@ func (s *Source) query(t *core.Thread, op string, sample func() uint64, signed b
 		})
 	case ids.Replay:
 		entry, ok := vm.NetworkIndex().Envs[eventID]
-		t.Critical(func(ids.GCount) {})
+		t.CriticalKind(obs.KindEnv, func(ids.GCount) {})
 		if !ok {
 			panic(&core.DivergenceError{
 				VM:     vm.ID(),

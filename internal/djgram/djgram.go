@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ids"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/rudp"
 	"repro/internal/tracelog"
 )
@@ -152,7 +153,7 @@ func (e *Env) Bind(t *core.Thread, port uint16) (*DatagramSocket, error) {
 			s   *netsim.DatagramSocket
 			err error
 		)
-		t.Critical(func(ids.GCount) {
+		t.CriticalKind(obs.KindDatagram, func(ids.GCount) {
 			s, err = e.net.DatagramBind(e.host, port)
 			if err != nil {
 				e.logNetErr(eventID, "bind", err)
@@ -170,7 +171,7 @@ func (e *Env) Bind(t *core.Thread, port uint16) (*DatagramSocket, error) {
 
 	default: // ids.Replay
 		if rerr, ok := e.replayErr(eventID); ok {
-			t.Critical(func(ids.GCount) {})
+			t.CriticalKind(obs.KindDatagram, func(ids.GCount) {})
 			return nil, rerr
 		}
 		entry, ok := e.vm.NetworkIndex().Binds[eventID]
@@ -178,7 +179,7 @@ func (e *Env) Bind(t *core.Thread, port uint16) (*DatagramSocket, error) {
 			return nil, divergef("bind event %v has no recorded port", eventID)
 		}
 		if e.vm.World() == ids.OpenWorld {
-			t.Critical(func(ids.GCount) {})
+			t.CriticalKind(obs.KindDatagram, func(ids.GCount) {})
 			ds := e.newSocket(netsim.Addr{Host: e.host, Port: entry.Port}, nil, nil)
 			ds.openReplay = true
 			return ds, nil
@@ -187,7 +188,7 @@ func (e *Env) Bind(t *core.Thread, port uint16) (*DatagramSocket, error) {
 			s   *netsim.DatagramSocket
 			err error
 		)
-		t.Critical(func(ids.GCount) {
+		t.CriticalKind(obs.KindDatagram, func(ids.GCount) {
 			s, err = e.net.DatagramBind(e.host, entry.Port)
 		})
 		if err != nil {
@@ -222,11 +223,11 @@ func (ds *DatagramSocket) JoinGroup(t *core.Thread, group string) error {
 	eventID := t.EventID(t.NextEventNum())
 	t.CountNetworkEvent()
 	if rerr, ok := e.replayErrIfReplaying(eventID); ok {
-		t.Critical(func(ids.GCount) {})
+		t.CriticalKind(obs.KindDatagram, func(ids.GCount) {})
 		return rerr
 	}
 	var err error
-	t.Critical(func(ids.GCount) {
+	t.CriticalKind(obs.KindDatagram, func(ids.GCount) {
 		if ds.sock != nil {
 			err = ds.sock.JoinGroup(group)
 		}
@@ -247,7 +248,7 @@ func (ds *DatagramSocket) Close(t *core.Thread) error {
 	eventID := t.EventID(t.NextEventNum())
 	t.CountNetworkEvent()
 	if rerr, ok := e.replayErrIfReplaying(eventID); ok {
-		t.Critical(func(ids.GCount) {})
+		t.CriticalKind(obs.KindDatagram, func(ids.GCount) {})
 		return rerr
 	}
 
@@ -267,7 +268,7 @@ func (ds *DatagramSocket) Close(t *core.Thread) error {
 	}
 
 	var err error
-	t.Critical(func(ids.GCount) {
+	t.CriticalKind(obs.KindDatagram, func(ids.GCount) {
 		switch {
 		case ds.rc != nil:
 			err = ds.rc.Close()

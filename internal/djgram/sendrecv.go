@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ids"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/tracelog"
 )
 
@@ -45,7 +46,7 @@ func (ds *DatagramSocket) SendTo(t *core.Thread, addr netsim.Addr, data []byte) 
 
 	if e.vm.Mode() == ids.Record {
 		var err error
-		t.Critical(func(gc ids.GCount) {
+		t.CriticalKind(obs.KindDatagram, func(gc ids.GCount) {
 			if !closedSc {
 				err = ds.sock.SendTo(addr, data)
 				if err != nil {
@@ -78,7 +79,7 @@ func (ds *DatagramSocket) SendTo(t *core.Thread, addr netsim.Addr, data []byte) 
 
 	// Replay.
 	if rerr, ok := e.replayErr(eventID); ok {
-		t.Critical(func(ids.GCount) {})
+		t.CriticalKind(obs.KindDatagram, func(ids.GCount) {})
 		return rerr
 	}
 	if ds.openReplay || !closedSc {
@@ -86,7 +87,7 @@ func (ds *DatagramSocket) SendTo(t *core.Thread, addr netsim.Addr, data []byte) 
 		if !ok {
 			return divergef("send event %v has no recorded entry", eventID)
 		}
-		t.Critical(func(ids.GCount) {})
+		t.CriticalKind(obs.KindDatagram, func(ids.GCount) {})
 		if entry.Len != uint32(len(data)) || entry.Sum != fnvSum(data) {
 			return divergef("send event %v payload differs from record (len %d vs %d)",
 				eventID, len(data), entry.Len)
@@ -94,7 +95,7 @@ func (ds *DatagramSocket) SendTo(t *core.Thread, addr netsim.Addr, data []byte) 
 		return nil
 	}
 	var err error
-	t.Critical(func(gc ids.GCount) {
+	t.CriticalKind(obs.KindDatagram, func(gc ids.GCount) {
 		// The replayed schedule gives this send the same global counter as
 		// in the record phase, so the datagram id is identical on the wire.
 		dgID := ids.DGNetworkEventID{VM: e.vm.ID(), GC: gc}
@@ -167,7 +168,7 @@ func (ds *DatagramSocket) receiveRecord(t *core.Thread, eventID ids.NetworkEvent
 		isOpen bool
 		err    error
 	)
-	t.Blocking(func() {
+	t.BlockingKind(obs.KindDatagram, func() {
 		for {
 			var pkt netsim.Packet
 			pkt, err = ds.sock.Receive()
@@ -248,13 +249,13 @@ func (ds *DatagramSocket) reassemble(dgID ids.DGNetworkEventID, portion byte, pa
 func (ds *DatagramSocket) receiveReplay(t *core.Thread, eventID ids.NetworkEventID) ([]byte, netsim.Addr, error) {
 	e := ds.env
 	if rerr, ok := e.replayErr(eventID); ok {
-		t.Critical(func(ids.GCount) {})
+		t.CriticalKind(obs.KindDatagram, func(ids.GCount) {})
 		return nil, netsim.Addr{}, rerr
 	}
 	if entry, ok := e.vm.NetworkIndex().OpenDatagrams[eventID]; ok {
 		// Recorded from a non-DJVM source: performed with the recorded data,
 		// not with the real network (§5).
-		t.Critical(func(ids.GCount) {})
+		t.CriticalKind(obs.KindDatagram, func(ids.GCount) {})
 		data := make([]byte, len(entry.Data))
 		copy(data, entry.Data)
 		return data, netsim.Addr{Host: entry.SourceHost, Port: entry.SourcePort}, nil
@@ -269,7 +270,7 @@ func (ds *DatagramSocket) receiveReplay(t *core.Thread, eventID ids.NetworkEvent
 		source netsim.Addr
 		err    error
 	)
-	t.Blocking(func() {
+	t.BlockingKind(obs.KindDatagram, func() {
 		data, source, err = ds.awaitDatagram(want.Datagram)
 	}, func(ids.GCount) {})
 	return data, source, err

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ids"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/tracelog"
 )
 
@@ -46,7 +47,7 @@ func (e *Env) Listen(t *core.Thread, port uint16) (*ServerSocket, error) {
 			l   *netsim.Listener
 			err error
 		)
-		t.Critical(func(ids.GCount) {
+		t.CriticalKind(obs.KindSocket, func(ids.GCount) {
 			l, err = e.net.Listen(e.host, port)
 			if err != nil {
 				e.logNetErr(eventID, "listen", err)
@@ -64,7 +65,7 @@ func (e *Env) Listen(t *core.Thread, port uint16) (*ServerSocket, error) {
 
 	default: // ids.Replay
 		if rerr, ok := e.replayErr(eventID); ok {
-			t.Critical(func(ids.GCount) {})
+			t.CriticalKind(obs.KindSocket, func(ids.GCount) {})
 			return nil, rerr
 		}
 		entry, ok := e.vm.NetworkIndex().Binds[eventID]
@@ -73,14 +74,14 @@ func (e *Env) Listen(t *core.Thread, port uint16) (*ServerSocket, error) {
 		}
 		if e.vm.World() == ids.OpenWorld {
 			// Open-world replay touches no real network (§5).
-			t.Critical(func(ids.GCount) {})
+			t.CriticalKind(obs.KindSocket, func(ids.GCount) {})
 			return &ServerSocket{env: e, port: entry.Port}, nil
 		}
 		var (
 			l   *netsim.Listener
 			err error
 		)
-		t.Critical(func(ids.GCount) {
+		t.CriticalKind(obs.KindSocket, func(ids.GCount) {
 			l, err = e.net.Listen(e.host, entry.Port)
 		})
 		if err != nil {
@@ -143,7 +144,7 @@ func (s *ServerSocket) acceptRecord(t *core.Thread, eventID ids.NetworkEventID) 
 		clientID ids.ConnectionID
 		closedSc bool
 	)
-	t.Blocking(func() {
+	t.BlockingKind(obs.KindSocket, func() {
 		conn, err = s.l.Accept()
 		if err != nil {
 			return
@@ -184,14 +185,14 @@ func (s *ServerSocket) acceptRecord(t *core.Thread, eventID ids.NetworkEventID) 
 func (s *ServerSocket) acceptReplay(t *core.Thread, eventID ids.NetworkEventID) (*Socket, error) {
 	e := s.env
 	if rerr, ok := e.replayErr(eventID); ok {
-		t.Critical(func(ids.GCount) {})
+		t.CriticalKind(obs.KindSocket, func(ids.GCount) {})
 		return nil, rerr
 	}
 
 	if entry, ok := e.vm.NetworkIndex().OpenAccepts[eventID]; ok {
 		// The record-phase peer was not a DJVM: synthesize the connection
 		// from the log; no network activity (§5).
-		t.Critical(func(ids.GCount) {})
+		t.CriticalKind(obs.KindSocket, func(ids.GCount) {})
 		return newOpenReplaySocket(e,
 			netsim.Addr{Host: e.host, Port: s.port},
 			netsim.Addr{Host: entry.RemoteHost, Port: entry.RemotePort},
@@ -209,7 +210,7 @@ func (s *ServerSocket) acceptReplay(t *core.Thread, eventID ids.NetworkEventID) 
 		conn *netsim.Stream
 		err  error
 	)
-	t.Blocking(func() {
+	t.BlockingKind(obs.KindSocket, func() {
 		if s.pool == nil {
 			s.pool = make(map[ids.ConnectionID]*netsim.Stream)
 		}
@@ -275,7 +276,7 @@ func (s *ServerSocket) AcceptTimeout(t *core.Thread, d time.Duration) (*Socket, 
 			clientID ids.ConnectionID
 			closedSc bool
 		)
-		t.Blocking(func() {
+		t.BlockingKind(obs.KindSocket, func() {
 			conn, err = s.l.AcceptTimeout(d)
 			if err != nil {
 				return
@@ -336,10 +337,10 @@ func (s *ServerSocket) Close(t *core.Thread) error {
 	t.CountNetworkEvent()
 	var err error
 	if rerr, ok := replayErrIfReplaying(e, eventID); ok {
-		t.Critical(func(ids.GCount) {})
+		t.CriticalKind(obs.KindSocket, func(ids.GCount) {})
 		return rerr
 	}
-	t.Critical(func(ids.GCount) {
+	t.CriticalKind(obs.KindSocket, func(ids.GCount) {
 		if s.l != nil {
 			err = s.l.Close()
 		}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ids"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/tracelog"
 )
 
@@ -72,7 +73,7 @@ func (e *Env) Connect(t *core.Thread, addr netsim.Addr) (*Socket, error) {
 			s   *netsim.Stream
 			err error
 		)
-		t.Blocking(func() {
+		t.BlockingKind(obs.KindSocket, func() {
 			s, err = e.net.Connect(e.host, addr)
 			if err != nil || !closedSc {
 				return
@@ -103,13 +104,13 @@ func (e *Env) Connect(t *core.Thread, addr netsim.Addr) (*Socket, error) {
 
 	// Replay.
 	if rerr, ok := e.replayErr(eventID); ok {
-		t.Critical(func(ids.GCount) {})
+		t.CriticalKind(obs.KindSocket, func(ids.GCount) {})
 		return nil, rerr
 	}
 	if entry, ok := e.vm.NetworkIndex().OpenConnects[eventID]; ok {
 		// Non-DJVM peer: the OS-level connect is not executed; the results
 		// are retrieved from the log (§5).
-		t.Critical(func(ids.GCount) {})
+		t.CriticalKind(obs.KindSocket, func(ids.GCount) {})
 		return newOpenReplaySocket(e,
 			netsim.Addr{Host: e.host, Port: entry.LocalPort},
 			netsim.Addr{Host: entry.RemoteHost, Port: entry.RemotePort},
@@ -122,7 +123,7 @@ func (e *Env) Connect(t *core.Thread, addr netsim.Addr) (*Socket, error) {
 		s   *netsim.Stream
 		err error
 	)
-	t.Blocking(func() {
+	t.BlockingKind(obs.KindSocket, func() {
 		s, err = e.net.Connect(e.host, addr)
 		if err != nil {
 			err = divergef("connect %v: %v", addr, err)
@@ -165,7 +166,7 @@ func (s *Socket) Read(t *core.Thread, p []byte) (int, error) {
 			n   int
 			err error
 		)
-		t.Blocking(func() {
+		t.BlockingKind(obs.KindSocket, func() {
 			n, err = s.stream.Read(p)
 		}, func(ids.GCount) {
 			switch {
@@ -182,7 +183,7 @@ func (s *Socket) Read(t *core.Thread, p []byte) (int, error) {
 
 	// Replay.
 	if rerr, ok := e.replayErr(eventID); ok {
-		t.Critical(func(ids.GCount) {})
+		t.CriticalKind(obs.KindSocket, func(ids.GCount) {})
 		return 0, rerr
 	}
 	if s.stream == nil || !s.peerDJVM {
@@ -197,7 +198,7 @@ func (s *Socket) Read(t *core.Thread, p []byte) (int, error) {
 			return 0, divergef("read event %v recorded %d bytes but buffer holds %d",
 				eventID, len(entry.Data), len(p))
 		}
-		t.Critical(func(ids.GCount) {})
+		t.CriticalKind(obs.KindSocket, func(ids.GCount) {})
 		n := copy(p, entry.Data)
 		if entry.EOF {
 			return 0, io.EOF
@@ -214,7 +215,7 @@ func (s *Socket) Read(t *core.Thread, p []byte) (int, error) {
 			eventID, entry.N, len(p))
 	}
 	var err error
-	t.Blocking(func() {
+	t.BlockingKind(obs.KindSocket, func() {
 		if entry.EOF {
 			// The record-phase read observed end of stream; wait for it.
 			var n int
@@ -264,7 +265,7 @@ func (s *Socket) ReadTimeout(t *core.Thread, p []byte, d time.Duration) (int, er
 		n   int
 		err error
 	)
-	t.Blocking(func() {
+	t.BlockingKind(obs.KindSocket, func() {
 		n, err = s.stream.ReadTimeout(p, d)
 	}, func(ids.GCount) {
 		switch {
@@ -324,7 +325,7 @@ func (s *Socket) Write(t *core.Thread, p []byte) (int, error) {
 			n   int
 			err error
 		)
-		t.Critical(func(ids.GCount) {
+		t.CriticalKind(obs.KindSocket, func(ids.GCount) {
 			n, err = s.stream.Write(p)
 			switch {
 			case err != nil:
@@ -342,7 +343,7 @@ func (s *Socket) Write(t *core.Thread, p []byte) (int, error) {
 
 	// Replay.
 	if rerr, ok := e.replayErr(eventID); ok {
-		t.Critical(func(ids.GCount) {})
+		t.CriticalKind(obs.KindSocket, func(ids.GCount) {})
 		return 0, rerr
 	}
 	if s.stream == nil || !s.peerDJVM {
@@ -353,7 +354,7 @@ func (s *Socket) Write(t *core.Thread, p []byte) (int, error) {
 		if !ok {
 			return 0, divergef("write event %v has no recorded entry", eventID)
 		}
-		t.Critical(func(ids.GCount) {})
+		t.CriticalKind(obs.KindSocket, func(ids.GCount) {})
 		if entry.Len != uint32(len(p)) || entry.Sum != fnvSum(p) {
 			return 0, divergef("write event %v payload differs from record (len %d vs %d)",
 				eventID, len(p), entry.Len)
@@ -364,7 +365,7 @@ func (s *Socket) Write(t *core.Thread, p []byte) (int, error) {
 		n   int
 		err error
 	)
-	t.Critical(func(ids.GCount) {
+	t.CriticalKind(obs.KindSocket, func(ids.GCount) {
 		n, err = s.stream.Write(p)
 	})
 	if err != nil {
@@ -389,7 +390,7 @@ func (s *Socket) Available(t *core.Thread) (int, error) {
 
 	if e.vm.Mode() == ids.Record {
 		var n int
-		t.Blocking(func() {
+		t.BlockingKind(obs.KindSocket, func() {
 			n = s.stream.Available()
 		}, func(ids.GCount) {
 			e.vm.Logs().Network.Append(&tracelog.AvailableEntry{
@@ -402,7 +403,7 @@ func (s *Socket) Available(t *core.Thread) (int, error) {
 
 	// Replay.
 	if rerr, ok := e.replayErr(eventID); ok {
-		t.Critical(func(ids.GCount) {})
+		t.CriticalKind(obs.KindSocket, func(ids.GCount) {})
 		return 0, rerr
 	}
 	entry, ok := e.vm.NetworkIndex().Availables[eventID]
@@ -410,11 +411,11 @@ func (s *Socket) Available(t *core.Thread) (int, error) {
 		return 0, divergef("available event %v has no recorded count", eventID)
 	}
 	if s.stream == nil || !s.peerDJVM {
-		t.Critical(func(ids.GCount) {})
+		t.CriticalKind(obs.KindSocket, func(ids.GCount) {})
 		return int(entry.N), nil
 	}
 	var got int
-	t.Blocking(func() {
+	t.BlockingKind(obs.KindSocket, func() {
 		got = s.stream.WaitAvailable(int(entry.N))
 	}, func(ids.GCount) {})
 	if got < int(entry.N) {
@@ -435,11 +436,11 @@ func (s *Socket) CloseWrite(t *core.Thread) error {
 	eventID := t.EventID(t.NextEventNum())
 	t.CountNetworkEvent()
 	if rerr, ok := replayErrIfReplaying(e, eventID); ok {
-		t.Critical(func(ids.GCount) {})
+		t.CriticalKind(obs.KindSocket, func(ids.GCount) {})
 		return rerr
 	}
 	var err error
-	t.Critical(func(ids.GCount) {
+	t.CriticalKind(obs.KindSocket, func(ids.GCount) {
 		if s.stream != nil {
 			err = s.stream.ShutdownWrite()
 		}
@@ -461,11 +462,11 @@ func (s *Socket) Close(t *core.Thread) error {
 	eventID := t.EventID(t.NextEventNum())
 	t.CountNetworkEvent()
 	if rerr, ok := replayErrIfReplaying(e, eventID); ok {
-		t.Critical(func(ids.GCount) {})
+		t.CriticalKind(obs.KindSocket, func(ids.GCount) {})
 		return rerr
 	}
 	var err error
-	t.Critical(func(ids.GCount) {
+	t.CriticalKind(obs.KindSocket, func(ids.GCount) {
 		if s.stream != nil {
 			err = s.stream.Close()
 		}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+)
+
+// String renders the current snapshot as JSON, making *Metrics an
+// expvar.Var: a VM's metrics can be mounted into the process-wide /debug/vars
+// page with Publish, or served standalone with Handler/Serve.
+func (m *Metrics) String() string {
+	b, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// Publish registers the metrics under name in the process-global expvar
+// registry. Unlike expvar.Publish it is idempotent: republishing an
+// already-registered name replaces nothing and does not panic (useful when
+// record and replay phases run in one process).
+func Publish(name string, m *Metrics) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, m)
+}
+
+// Handler serves the metrics snapshot as JSON — the endpoint cmd/djstat
+// attaches to.
+func Handler(m *Metrics) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(m.Snapshot())
+	})
+}
+
+// Serve starts an HTTP server exposing the snapshot JSON at every path on
+// addr (pass "127.0.0.1:0" for an ephemeral port). It returns the bound
+// address — hand it to `djstat -watch http://<addr>` — and a stop function
+// that closes the listener.
+func Serve(addr string, m *Metrics) (boundAddr string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(m)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

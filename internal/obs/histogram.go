@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of exponential histogram buckets. Bucket 0 holds
+// zero-duration observations; bucket i (i >= 1) holds durations d with
+// bits.Len64(d) == i, i.e. [2^(i-1), 2^i) nanoseconds; the last bucket
+// absorbs everything larger (>= ~4.6 minutes).
+const histBuckets = 40
+
+// Histogram is a lock-free streaming histogram of durations with power-of-two
+// bucket boundaries. Observe is one atomic add per bucket plus two for
+// count/sum (and a CAS loop for max) — cheap enough to sit inside the
+// GC-critical section. The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	max     atomic.Uint64 // nanoseconds
+	buckets [histBuckets]atomic.Uint64
+}
+
+// bucketIndex maps a nanosecond duration to its bucket.
+func bucketIndex(ns uint64) int {
+	i := bits.Len64(ns)
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// BucketBounds reports bucket i's nanosecond range [lo, hi). The final
+// bucket's hi is the maximum uint64 (unbounded).
+func BucketBounds(i int) (lo, hi uint64) {
+	switch {
+	case i <= 0:
+		return 0, 1
+	case i >= histBuckets-1:
+		return 1 << (histBuckets - 2), ^uint64(0)
+	default:
+		return 1 << (i - 1), 1 << i
+	}
+}
+
+// Observe folds one duration into the histogram. Negative durations count as
+// zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[bucketIndex(ns)].Add(1)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// HistBucket is one non-empty bucket of a histogram snapshot, covering
+// [LoNanos, HiNanos) nanoseconds.
+type HistBucket struct {
+	LoNanos uint64 `json:"lo_ns"`
+	HiNanos uint64 `json:"hi_ns"`
+	Count   uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Only non-empty
+// buckets are materialized.
+type HistogramSnapshot struct {
+	Count    uint64       `json:"count"`
+	SumNanos uint64       `json:"sum_ns"`
+	MaxNanos uint64       `json:"max_ns"`
+	Buckets  []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state. Concurrent Observes may land
+// in count but not yet in a bucket (or vice versa); quantile estimates treat
+// the bucket counts as authoritative.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:    h.count.Load(),
+		SumNanos: h.sum.Load(),
+		MaxNanos: h.max.Load(),
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			lo, hi := BucketBounds(i)
+			s.Buckets = append(s.Buckets, HistBucket{LoNanos: lo, HiNanos: hi, Count: n})
+		}
+	}
+	return s
+}
+
+// Mean reports the mean observed duration (0 when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNanos / s.Count)
+}
+
+// Max reports the largest observed duration.
+func (s HistogramSnapshot) Max() time.Duration { return time.Duration(s.MaxNanos) }
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts,
+// returning the upper bound of the bucket containing the target rank — a
+// conservative (over-)estimate, capped at the observed max.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total-1))
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum > rank {
+			hi := b.HiNanos
+			if hi > s.MaxNanos && s.MaxNanos >= b.LoNanos {
+				hi = s.MaxNanos
+			}
+			return time.Duration(hi)
+		}
+	}
+	return time.Duration(s.MaxNanos)
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the exponential bucket layout: bucket 0 is the
+// zero-duration bucket, bucket i covers [2^(i-1), 2^i) ns, and the last
+// bucket is unbounded.
+func TestBucketBoundaries(t *testing.T) {
+	if lo, hi := BucketBounds(0); lo != 0 || hi != 1 {
+		t.Errorf("bucket 0 = [%d,%d), want [0,1)", lo, hi)
+	}
+	if lo, hi := BucketBounds(1); lo != 1 || hi != 2 {
+		t.Errorf("bucket 1 = [%d,%d), want [1,2)", lo, hi)
+	}
+	if lo, hi := BucketBounds(10); lo != 512 || hi != 1024 {
+		t.Errorf("bucket 10 = [%d,%d), want [512,1024)", lo, hi)
+	}
+	if lo, hi := BucketBounds(histBuckets - 1); lo != 1<<(histBuckets-2) || hi != ^uint64(0) {
+		t.Errorf("last bucket = [%d,%d), want unbounded hi", lo, hi)
+	}
+	// Buckets tile the axis: each bucket's hi is the next bucket's lo.
+	for i := 0; i < histBuckets-1; i++ {
+		_, hi := BucketBounds(i)
+		lo, _ := BucketBounds(i + 1)
+		if hi != lo {
+			t.Errorf("gap between bucket %d (hi=%d) and %d (lo=%d)", i, hi, i+1, lo)
+		}
+	}
+}
+
+// TestBucketIndexPlacement checks observations land inside their bucket's
+// bounds, including the edges.
+func TestBucketIndexPlacement(t *testing.T) {
+	cases := []uint64{0, 1, 2, 3, 4, 511, 512, 513, 1023, 1024, 1 << 20, 1 << 39, 1 << 45, ^uint64(0)}
+	for _, ns := range cases {
+		i := bucketIndex(ns)
+		lo, hi := BucketBounds(i)
+		// The last bucket is inclusive of the maximum uint64.
+		if ns < lo || (ns >= hi && !(i == histBuckets-1 && ns <= hi)) {
+			t.Errorf("bucketIndex(%d) = %d with bounds [%d,%d): value outside bucket", ns, i, lo, hi)
+		}
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-time.Second) // clamps to 0
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(3 * time.Microsecond)
+	h.Observe(time.Millisecond)
+
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Errorf("Count = %d, want 5", s.Count)
+	}
+	wantSum := uint64(100 + 3000 + 1000000)
+	if s.SumNanos != wantSum {
+		t.Errorf("SumNanos = %d, want %d", s.SumNanos, wantSum)
+	}
+	if s.Max() != time.Millisecond {
+		t.Errorf("Max = %v, want 1ms", s.Max())
+	}
+	var inBuckets uint64
+	for _, b := range s.Buckets {
+		inBuckets += b.Count
+	}
+	if inBuckets != 5 {
+		t.Errorf("bucket counts sum to %d, want 5", inBuckets)
+	}
+	// The two zero observations share bucket 0.
+	if s.Buckets[0].LoNanos != 0 || s.Buckets[0].Count != 2 {
+		t.Errorf("zero bucket = %+v, want lo=0 count=2", s.Buckets[0])
+	}
+	if m := s.Mean(); m != time.Duration(wantSum/5) {
+		t.Errorf("Mean = %v", m)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+	// 90 fast observations, 10 slow ones: p50 must sit in the fast band,
+	// p99 in the slow band.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Nanosecond) // bucket [64,128)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond) // bucket [2^19, 2^20) ns
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.50); p50 < 100*time.Nanosecond || p50 > 128*time.Nanosecond {
+		t.Errorf("p50 = %v, want within the fast bucket", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 512*time.Microsecond || p99 > time.Millisecond {
+		t.Errorf("p99 = %v, want within the slow bucket (capped at max)", p99)
+	}
+	// Quantile is capped at the observed max.
+	if p100 := s.Quantile(1); p100 != time.Millisecond {
+		t.Errorf("p100 = %v, want exactly the max", p100)
+	}
+}
+
+// TestHistogramConcurrent checks count bookkeeping under parallel Observe —
+// with -race this also proves lock-freedom is sound.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(seed*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Errorf("Count = %d, want %d", s.Count, workers*per)
+	}
+	var inBuckets uint64
+	for _, b := range s.Buckets {
+		inBuckets += b.Count
+	}
+	if inBuckets != workers*per {
+		t.Errorf("bucket sum = %d, want %d", inBuckets, workers*per)
+	}
+	wantMax := time.Duration((workers-1)*1000+per-1) * time.Nanosecond
+	if s.Max() != wantMax {
+		t.Errorf("Max = %v, want %v", s.Max(), wantMax)
+	}
+}

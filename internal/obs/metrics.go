@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the per-VM metric set. All fields are updated with single atomic
+// operations; there is no lock anywhere in the layer. The zero value is ready
+// to use (core.NewVM allocates one per VM unconditionally — the layer is
+// always on).
+type Metrics struct {
+	// events counts executed critical events by kind (record and replay; the
+	// passthrough baseline executes no critical events by definition).
+	events [NumEventKinds]atomic.Uint64
+	// networkEvents counts network events — the paper's "#nw events" column.
+	// A network event is one socket/datagram operation; it usually costs one
+	// critical event but is counted independently (§6).
+	networkEvents atomic.Uint64
+	// intervals counts logical schedule intervals flushed to the schedule log.
+	intervals atomic.Uint64
+	// ffSkips counts recorded critical events skipped by checkpoint-resume
+	// fast-forward (events before the resume counter, per thread).
+	ffSkips atomic.Uint64
+
+	// Per-log-file append counts and byte volumes.
+	logAppends [numLogFiles]atomic.Uint64
+	logBytes   [numLogFiles]atomic.Uint64
+
+	// Gauges.
+	clock    atomic.Uint64 // global counter after the latest critical event
+	finalGC  atomic.Uint64 // recorded schedule length (replay mode; else 0)
+	parked   atomic.Int64  // threads currently waiting for a replay turn
+	watchdog atomic.Uint32 // bit 0: armed, bit 1: stalled
+
+	// TurnWait observes how long replaying threads wait for their scheduled
+	// turns (the replay serialization cost).
+	TurnWait Histogram
+	// GCHold observes how long the GC-critical section is held per critical
+	// event (op + observer), record and replay alike.
+	GCHold Histogram
+}
+
+const (
+	watchdogArmedBit   = 1 << 0
+	watchdogStalledBit = 1 << 1
+)
+
+// IncEvent counts one executed critical event of the given kind and moves the
+// clock gauge to the counter value after it.
+func (m *Metrics) IncEvent(kind EventKind, gcAfter uint64) {
+	if int(kind) >= NumEventKinds {
+		kind = KindOther
+	}
+	m.events[kind].Add(1)
+	m.clock.Store(gcAfter)
+}
+
+// EventCount reports the running count for one kind.
+func (m *Metrics) EventCount(kind EventKind) uint64 {
+	if int(kind) >= NumEventKinds {
+		return 0
+	}
+	return m.events[kind].Load()
+}
+
+// TotalEvents reports the running total across all kinds.
+func (m *Metrics) TotalEvents() uint64 {
+	var total uint64
+	for i := range m.events {
+		total += m.events[i].Load()
+	}
+	return total
+}
+
+// IncNetworkEvent counts one network event.
+func (m *Metrics) IncNetworkEvent() { m.networkEvents.Add(1) }
+
+// NetworkEvents reports the running network-event count.
+func (m *Metrics) NetworkEvents() uint64 { return m.networkEvents.Load() }
+
+// IncInterval counts one logical schedule interval flushed to the log.
+func (m *Metrics) IncInterval() { m.intervals.Add(1) }
+
+// AddFastForwardSkips counts recorded events skipped by checkpoint resume.
+func (m *Metrics) AddFastForwardSkips(n uint64) { m.ffSkips.Add(n) }
+
+// LogAppend counts one appended log entry of the given encoded size.
+func (m *Metrics) LogAppend(file LogFile, bytes int) {
+	if int(file) >= numLogFiles {
+		return
+	}
+	m.logAppends[file].Add(1)
+	m.logBytes[file].Add(uint64(bytes))
+}
+
+// SetClock moves the clock gauge (used at VM construction and resume).
+func (m *Metrics) SetClock(gc uint64) { m.clock.Store(gc) }
+
+// SetFinalGC publishes the recorded schedule length a replay runs against.
+func (m *Metrics) SetFinalGC(gc uint64) { m.finalGC.Store(gc) }
+
+// SetWatchdogArmed flips the stall-watchdog arm gauge.
+func (m *Metrics) SetWatchdogArmed(armed bool) {
+	for {
+		cur := m.watchdog.Load()
+		next := cur &^ watchdogArmedBit
+		if armed {
+			next = cur | watchdogArmedBit
+		}
+		if cur == next || m.watchdog.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// SetStalled latches the stall gauge (set by the watchdog on detection).
+func (m *Metrics) SetStalled() {
+	for {
+		cur := m.watchdog.Load()
+		if cur&watchdogStalledBit != 0 || m.watchdog.CompareAndSwap(cur, cur|watchdogStalledBit) {
+			return
+		}
+	}
+}
+
+// IncParked / DecParked track threads parked on replay turns.
+func (m *Metrics) IncParked() { m.parked.Add(1) }
+
+// DecParked is IncParked's inverse.
+func (m *Metrics) DecParked() { m.parked.Add(-1) }
+
+// ObserveTurnWait records one replay turn-wait latency.
+func (m *Metrics) ObserveTurnWait(d time.Duration) { m.TurnWait.Observe(d) }
+
+// ObserveGCHold records one GC-critical-section hold time.
+func (m *Metrics) ObserveGCHold(d time.Duration) { m.GCHold.Observe(d) }

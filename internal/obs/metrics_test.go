@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentIncrements hammers every counter from many goroutines and
+// checks exact totals — run with -race this also proves the layer is
+// data-race-free.
+func TestConcurrentIncrements(t *testing.T) {
+	m := &Metrics{}
+	const (
+		workers = 8
+		perKind = 1000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perKind; i++ {
+				for k := EventKind(0); int(k) < NumEventKinds; k++ {
+					m.IncEvent(k, uint64(i))
+				}
+				m.IncNetworkEvent()
+				m.IncInterval()
+				m.AddFastForwardSkips(2)
+				m.LogAppend(LogSchedule, 10)
+				m.LogAppend(LogNetwork, 3)
+				m.IncParked()
+				m.ObserveTurnWait(time.Duration(i) * time.Nanosecond)
+				m.DecParked()
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := m.Snapshot()
+	const n = workers * perKind
+	if s.TotalEvents != n*uint64(NumEventKinds) {
+		t.Errorf("TotalEvents = %d, want %d", s.TotalEvents, n*uint64(NumEventKinds))
+	}
+	for k := EventKind(0); int(k) < NumEventKinds; k++ {
+		if got := m.EventCount(k); got != n {
+			t.Errorf("EventCount(%v) = %d, want %d", k, got, n)
+		}
+	}
+	if s.NetworkEvents != n {
+		t.Errorf("NetworkEvents = %d, want %d", s.NetworkEvents, n)
+	}
+	if s.Intervals != n {
+		t.Errorf("Intervals = %d, want %d", s.Intervals, n)
+	}
+	if s.FastForwardSkips != 2*n {
+		t.Errorf("FastForwardSkips = %d, want %d", s.FastForwardSkips, 2*n)
+	}
+	if s.Logs.Schedule.Appends != n || s.Logs.Schedule.Bytes != 10*n {
+		t.Errorf("schedule log stats = %+v, want %d appends / %d bytes", s.Logs.Schedule, n, 10*n)
+	}
+	if s.Logs.Network.Appends != n || s.Logs.Network.Bytes != 3*n {
+		t.Errorf("network log stats = %+v", s.Logs.Network)
+	}
+	if s.Logs.TotalBytes() != 13*n {
+		t.Errorf("TotalBytes = %d, want %d", s.Logs.TotalBytes(), 13*n)
+	}
+	if s.Replay.ParkedThreads != 0 {
+		t.Errorf("ParkedThreads = %d after balanced Inc/Dec", s.Replay.ParkedThreads)
+	}
+	if s.TurnWait.Count != n {
+		t.Errorf("TurnWait.Count = %d, want %d", s.TurnWait.Count, n)
+	}
+}
+
+// TestSnapshotConsistency verifies a snapshot taken mid-hammering is
+// internally consistent: TotalEvents always equals the sum of its own
+// per-kind fields (no torn read across the two).
+func TestSnapshotConsistency(t *testing.T) {
+	m := &Metrics{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			k := EventKind(seed % NumEventKinds)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.IncEvent(k, uint64(i))
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		s := m.Snapshot()
+		if s.TotalEvents != s.Events.Total() {
+			t.Fatalf("torn snapshot: TotalEvents=%d, Events.Total()=%d", s.TotalEvents, s.Events.Total())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestWatchdogGauge(t *testing.T) {
+	m := &Metrics{}
+	if s := m.Snapshot(); s.Replay.WatchdogArmed || s.Replay.Stalled {
+		t.Fatal("zero-value gauges not clear")
+	}
+	m.SetWatchdogArmed(true)
+	if s := m.Snapshot(); !s.Replay.WatchdogArmed {
+		t.Error("armed bit not set")
+	}
+	m.SetStalled()
+	m.SetWatchdogArmed(false)
+	s := m.Snapshot()
+	if s.Replay.WatchdogArmed {
+		t.Error("armed bit not cleared")
+	}
+	if !s.Replay.Stalled {
+		t.Error("stalled latch lost when disarming")
+	}
+}
+
+func TestReplayProgressPercent(t *testing.T) {
+	cases := []struct {
+		cur, fin uint64
+		want     float64
+	}{
+		{0, 0, -1},   // record mode: no denominator
+		{500, 0, -1}, // still record mode
+		{0, 200, 0},
+		{50, 200, 25},
+		{200, 200, 100},
+	}
+	for _, c := range cases {
+		r := ReplayProgress{CurrentGC: c.cur, FinalGC: c.fin}
+		if got := r.Percent(); got != c.want {
+			t.Errorf("Percent(%d/%d) = %v, want %v", c.cur, c.fin, got, c.want)
+		}
+	}
+}
+
+// TestExpvarJSONRoundTrip checks the expvar String() form parses back into an
+// identical Snapshot — djstat relies on this.
+func TestExpvarJSONRoundTrip(t *testing.T) {
+	m := &Metrics{}
+	m.IncEvent(KindShared, 1)
+	m.IncEvent(KindSocket, 2)
+	m.IncNetworkEvent()
+	m.LogAppend(LogDatagram, 42)
+	m.SetFinalGC(10)
+	m.ObserveGCHold(3 * time.Microsecond)
+
+	var got Snapshot
+	if err := json.Unmarshal([]byte(m.String()), &got); err != nil {
+		t.Fatalf("String() is not valid JSON: %v", err)
+	}
+	want := m.Snapshot()
+	if got.TotalEvents != want.TotalEvents || got.Events != want.Events {
+		t.Errorf("events round-trip mismatch: got %+v want %+v", got.Events, want.Events)
+	}
+	if got.Logs != want.Logs {
+		t.Errorf("logs round-trip mismatch: got %+v want %+v", got.Logs, want.Logs)
+	}
+	if got.Replay != want.Replay {
+		t.Errorf("replay round-trip mismatch: got %+v want %+v", got.Replay, want.Replay)
+	}
+	if got.GCHold.Count != want.GCHold.Count || got.GCHold.SumNanos != want.GCHold.SumNanos {
+		t.Errorf("histogram round-trip mismatch: got %+v want %+v", got.GCHold, want.GCHold)
+	}
+}
+
+// TestServeEndpoint spins up the metrics endpoint and fetches a snapshot the
+// way djstat does.
+func TestServeEndpoint(t *testing.T) {
+	m := &Metrics{}
+	m.IncEvent(KindMonitorEnter, 1)
+	addr, stop, err := Serve("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	resp, err := http.Get("http://" + addr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		t.Fatalf("endpoint body is not a snapshot: %v", err)
+	}
+	if s.Events.MonitorEnter != 1 {
+		t.Errorf("served snapshot events = %+v", s.Events)
+	}
+}
+
+func TestPublishIdempotent(t *testing.T) {
+	m := &Metrics{}
+	Publish("obs-test-metrics", m)
+	// A second Publish with the same name must not panic (expvar.Publish
+	// would).
+	Publish("obs-test-metrics", &Metrics{})
+}
+
+func TestWriteReportAndReporter(t *testing.T) {
+	m := &Metrics{}
+	m.IncEvent(KindShared, 7)
+	m.SetFinalGC(14)
+	m.ObserveTurnWait(time.Millisecond)
+
+	var b strings.Builder
+	WriteReport(&b, m.Snapshot())
+	out := b.String()
+	for _, want := range []string{"replay", "50.0%", "gc 7/14", "shared=1", "turnwait"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	var rb syncBuilder
+	stop := StartReporter(&rb, time.Hour, m) // only the final flush fires
+	stop()
+	stop() // idempotent
+	if !strings.Contains(rb.String(), "gc 7/14") {
+		t.Errorf("reporter final flush missing:\n%s", rb.String())
+	}
+}
+
+func TestProgressBar(t *testing.T) {
+	if got := ProgressBar(0, 4); got != "[....]" {
+		t.Errorf("ProgressBar(0) = %q", got)
+	}
+	if got := ProgressBar(50, 4); got != "[##..]" {
+		t.Errorf("ProgressBar(50) = %q", got)
+	}
+	if got := ProgressBar(100, 4); got != "[####]" {
+		t.Errorf("ProgressBar(100) = %q", got)
+	}
+	if got := ProgressBar(150, 4); got != "[####]" {
+		t.Errorf("ProgressBar(>100) = %q", got)
+	}
+}
+
+// syncBuilder is a goroutine-safe strings.Builder for reporter tests.
+type syncBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteReport renders one snapshot in human-readable form: the format the
+// periodic reporter and cmd/djstat share.
+func WriteReport(w io.Writer, s Snapshot) {
+	if pct := s.Replay.Percent(); pct >= 0 {
+		fmt.Fprintf(w, "replay   %s %.1f%%  gc %d/%d  parked %d%s%s\n",
+			ProgressBar(pct, 24), pct, s.Replay.CurrentGC, s.Replay.FinalGC,
+			s.Replay.ParkedThreads,
+			flag(s.Replay.WatchdogArmed, "  watchdog:armed"),
+			flag(s.Replay.Stalled, "  STALLED"))
+	} else {
+		fmt.Fprintf(w, "clock    gc %d\n", s.Replay.CurrentGC)
+	}
+	fmt.Fprintf(w, "events   total %d  nw %d  intervals %d", s.TotalEvents, s.NetworkEvents, s.Intervals)
+	if s.FastForwardSkips > 0 {
+		fmt.Fprintf(w, "  ff-skips %d", s.FastForwardSkips)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "by kind  %s\n", kindLine(s.Events))
+	fmt.Fprintf(w, "logs     schedule %dB/%d  network %dB/%d  datagram %dB/%d  total %dB\n",
+		s.Logs.Schedule.Bytes, s.Logs.Schedule.Appends,
+		s.Logs.Network.Bytes, s.Logs.Network.Appends,
+		s.Logs.Datagram.Bytes, s.Logs.Datagram.Appends,
+		s.Logs.TotalBytes())
+	writeHistLine(w, "turnwait", s.TurnWait)
+	writeHistLine(w, "gc-hold ", s.GCHold)
+}
+
+func writeHistLine(w io.Writer, name string, h HistogramSnapshot) {
+	if h.Count == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%s n=%d mean=%v p50=%v p99=%v max=%v\n",
+		name, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Max())
+}
+
+// kindLine renders the non-zero per-kind counts in declaration order.
+func kindLine(c EventCounts) string {
+	type kv struct {
+		k EventKind
+		n uint64
+	}
+	pairs := []kv{
+		{KindShared, c.Shared}, {KindMonitorEnter, c.MonitorEnter},
+		{KindMonitorExit, c.MonitorExit}, {KindWait, c.Wait},
+		{KindNotify, c.Notify}, {KindSocket, c.Socket},
+		{KindDatagram, c.Datagram}, {KindCheckpoint, c.Checkpoint},
+		{KindEnv, c.Env}, {KindThread, c.Thread}, {KindOther, c.Other},
+	}
+	var parts []string
+	for _, p := range pairs {
+		if p.n > 0 {
+			parts = append(parts, fmt.Sprintf("%v=%d", p.k, p.n))
+		}
+	}
+	if len(parts) == 0 {
+		return "(none)"
+	}
+	return strings.Join(parts, " ")
+}
+
+// ProgressBar renders pct (0..100) as a fixed-width bar.
+func ProgressBar(pct float64, width int) string {
+	if width <= 0 {
+		width = 10
+	}
+	if pct < 0 {
+		pct = 0
+	}
+	if pct > 100 {
+		pct = 100
+	}
+	filled := int(pct / 100 * float64(width))
+	return "[" + strings.Repeat("#", filled) + strings.Repeat(".", width-filled) + "]"
+}
+
+func flag(on bool, s string) string {
+	if on {
+		return s
+	}
+	return ""
+}
+
+// StartReporter writes a report to w every interval until the returned stop
+// function is called (stop also writes one final report).
+func StartReporter(w io.Writer, interval time.Duration, m *Metrics) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				WriteReport(w, m.Snapshot())
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if once {
+			return
+		}
+		once = true
+		close(done)
+		<-finished
+		WriteReport(w, m.Snapshot())
+	}
+}

@@ -1,0 +1,147 @@
+package obs
+
+// EventCounts breaks the critical-event total down by kind.
+type EventCounts struct {
+	Shared       uint64 `json:"shared"`
+	MonitorEnter uint64 `json:"monitor_enter"`
+	MonitorExit  uint64 `json:"monitor_exit"`
+	Wait         uint64 `json:"wait"`
+	Notify       uint64 `json:"notify"`
+	Socket       uint64 `json:"socket"`
+	Datagram     uint64 `json:"datagram"`
+	Checkpoint   uint64 `json:"checkpoint"`
+	Env          uint64 `json:"env"`
+	Thread       uint64 `json:"thread"`
+	Other        uint64 `json:"other"`
+}
+
+// Total sums the per-kind counts.
+func (c EventCounts) Total() uint64 {
+	return c.Shared + c.MonitorEnter + c.MonitorExit + c.Wait + c.Notify +
+		c.Socket + c.Datagram + c.Checkpoint + c.Env + c.Thread + c.Other
+}
+
+// ByKind returns the counts keyed by EventKind name, for table rendering.
+func (c EventCounts) ByKind() map[string]uint64 {
+	return map[string]uint64{
+		KindShared.String():       c.Shared,
+		KindMonitorEnter.String(): c.MonitorEnter,
+		KindMonitorExit.String():  c.MonitorExit,
+		KindWait.String():         c.Wait,
+		KindNotify.String():       c.Notify,
+		KindSocket.String():       c.Socket,
+		KindDatagram.String():     c.Datagram,
+		KindCheckpoint.String():   c.Checkpoint,
+		KindEnv.String():          c.Env,
+		KindThread.String():       c.Thread,
+		KindOther.String():        c.Other,
+	}
+}
+
+// LogFileStats is the append count and byte volume of one record-phase log.
+type LogFileStats struct {
+	Appends uint64 `json:"appends"`
+	Bytes   uint64 `json:"bytes"`
+}
+
+// LogStats covers the three per-VM logs.
+type LogStats struct {
+	Schedule LogFileStats `json:"schedule"`
+	Network  LogFileStats `json:"network"`
+	Datagram LogFileStats `json:"datagram"`
+}
+
+// TotalBytes is the paper's "log size" quantity: bytes across all three logs.
+func (l LogStats) TotalBytes() uint64 {
+	return l.Schedule.Bytes + l.Network.Bytes + l.Datagram.Bytes
+}
+
+// ReplayProgress is the live state of a replaying VM. For record/passthrough
+// VMs FinalGC is 0 and only CurrentGC is meaningful.
+type ReplayProgress struct {
+	// CurrentGC is the global counter after the latest critical event.
+	CurrentGC uint64 `json:"current_gc"`
+	// FinalGC is the recorded schedule's final counter value (0 outside
+	// replay): the denominator of replay progress.
+	FinalGC uint64 `json:"final_gc"`
+	// ParkedThreads is how many threads are waiting for their replay turns.
+	ParkedThreads int64 `json:"parked_threads"`
+	// WatchdogArmed reports whether the stall watchdog is running.
+	WatchdogArmed bool `json:"watchdog_armed"`
+	// Stalled reports whether the watchdog has detected a stall.
+	Stalled bool `json:"stalled"`
+}
+
+// Percent is replay progress as a percentage of the recorded schedule, or -1
+// when no recorded schedule is known (FinalGC == 0).
+func (r ReplayProgress) Percent() float64 {
+	if r.FinalGC == 0 {
+		return -1
+	}
+	return 100 * float64(r.CurrentGC) / float64(r.FinalGC)
+}
+
+// Snapshot is a consistent point-in-time view of one VM's metrics. Totals are
+// derived from the same atomic loads as the per-kind fields, so a snapshot is
+// internally consistent (TotalEvents always equals Events.Total()) even when
+// taken mid-run.
+type Snapshot struct {
+	// Events is the critical-event count by kind.
+	Events EventCounts `json:"events"`
+	// TotalEvents is the critical-event total — the "#critical events"
+	// column.
+	TotalEvents uint64 `json:"total_events"`
+	// NetworkEvents is the "#nw events" column.
+	NetworkEvents uint64 `json:"network_events"`
+	// Intervals is the number of logical schedule intervals emitted.
+	Intervals uint64 `json:"intervals"`
+	// FastForwardSkips is recorded events skipped by checkpoint resume.
+	FastForwardSkips uint64 `json:"fast_forward_skips"`
+	// Logs is per-log-file append/byte volume (record mode).
+	Logs LogStats `json:"logs"`
+	// Replay is the live replay-progress gauge set.
+	Replay ReplayProgress `json:"replay"`
+	// TurnWait is the replay turn-wait latency distribution.
+	TurnWait HistogramSnapshot `json:"turn_wait"`
+	// GCHold is the GC-critical-section hold-time distribution.
+	GCHold HistogramSnapshot `json:"gc_hold"`
+}
+
+// Snapshot assembles the current view. It is safe to call concurrently with
+// every update path.
+func (m *Metrics) Snapshot() Snapshot {
+	var s Snapshot
+	s.Events = EventCounts{
+		Shared:       m.events[KindShared].Load(),
+		MonitorEnter: m.events[KindMonitorEnter].Load(),
+		MonitorExit:  m.events[KindMonitorExit].Load(),
+		Wait:         m.events[KindWait].Load(),
+		Notify:       m.events[KindNotify].Load(),
+		Socket:       m.events[KindSocket].Load(),
+		Datagram:     m.events[KindDatagram].Load(),
+		Checkpoint:   m.events[KindCheckpoint].Load(),
+		Env:          m.events[KindEnv].Load(),
+		Thread:       m.events[KindThread].Load(),
+		Other:        m.events[KindOther].Load(),
+	}
+	s.TotalEvents = s.Events.Total()
+	s.NetworkEvents = m.networkEvents.Load()
+	s.Intervals = m.intervals.Load()
+	s.FastForwardSkips = m.ffSkips.Load()
+	s.Logs = LogStats{
+		Schedule: LogFileStats{Appends: m.logAppends[LogSchedule].Load(), Bytes: m.logBytes[LogSchedule].Load()},
+		Network:  LogFileStats{Appends: m.logAppends[LogNetwork].Load(), Bytes: m.logBytes[LogNetwork].Load()},
+		Datagram: LogFileStats{Appends: m.logAppends[LogDatagram].Load(), Bytes: m.logBytes[LogDatagram].Load()},
+	}
+	wd := m.watchdog.Load()
+	s.Replay = ReplayProgress{
+		CurrentGC:     m.clock.Load(),
+		FinalGC:       m.finalGC.Load(),
+		ParkedThreads: m.parked.Load(),
+		WatchdogArmed: wd&watchdogArmedBit != 0,
+		Stalled:       wd&watchdogStalledBit != 0,
+	}
+	s.TurnWait = m.TurnWait.Snapshot()
+	s.GCHold = m.GCHold.Snapshot()
+	return s
+}

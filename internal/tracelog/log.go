@@ -14,10 +14,23 @@ type Log struct {
 	mu      sync.Mutex
 	buf     []byte
 	entries int
+	// onAppend, when set, observes each append's encoded size — the hook the
+	// observability layer uses to count log volume without the log importing
+	// it. Called outside the log's lock.
+	onAppend func(bytes int)
 }
 
 // NewLog returns an empty log.
 func NewLog() *Log { return &Log{} }
+
+// SetObserver registers fn to be called after every Append with the encoded
+// size of the appended entry. Set it before the log is shared between
+// goroutines (a VM wires it at construction); passing nil removes the hook.
+func (l *Log) SetObserver(fn func(bytes int)) {
+	l.mu.Lock()
+	l.onAppend = fn
+	l.mu.Unlock()
+}
 
 // Append encodes and appends one entry.
 func (l *Log) Append(e Entry) {
@@ -27,7 +40,11 @@ func (l *Log) Append(e Entry) {
 	l.mu.Lock()
 	l.buf = append(l.buf, ec.buf...)
 	l.entries++
+	fn := l.onAppend
 	l.mu.Unlock()
+	if fn != nil {
+		fn(len(ec.buf))
+	}
 }
 
 // Size reports the encoded size of the log in bytes. This is the "log size"
