@@ -33,6 +33,8 @@ func main() {
 	verify := flag.Bool("verify", false, "record and replay once, checking outcome equality")
 	logsize := flag.Bool("logsize", false, "run the message-size vs log-size sweep (§6 note)")
 	obsJSON := flag.Bool("obs", false, "also emit each table as JSON with per-row obs snapshots")
+	corePath := flag.String("core", "", "run the engine-core benchmark and merge rows into this JSON file (BENCH_core.json)")
+	label := flag.String("label", "current", "label for -core rows (e.g. baseline, optimized)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -44,6 +46,27 @@ func main() {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "  ... %s\n", msg)
 		}
+	}
+
+	if *corePath != "" {
+		rows, err := bench.GenerateCore(threads, *reps, *label, progress)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.MergeCoreFile(*corePath, *label, rows, *reps); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d %q rows to %s\n", len(rows), *label, *corePath)
+		for _, r := range rows {
+			if r.Workload == "table1-closed" {
+				fmt.Printf("  %-14s threads=%-2d %-7s %12.0f events/sec  turn-wait p50/p99 %d/%d ns\n",
+					r.Workload, r.Threads, r.Mode, r.EventsPerSec, r.TurnWaitP50Ns, r.TurnWaitP99Ns)
+			} else {
+				fmt.Printf("  %-14s %-7s %10.1f ns/op  %6.1f allocs/op  %8.1f B/op\n",
+					r.Workload, r.Mode, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+			}
+		}
+		return
 	}
 
 	if *verify {

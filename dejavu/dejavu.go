@@ -206,6 +206,13 @@ type Config struct {
 	// it returns, and the stall watchdog will not fire a spurious stall
 	// while it blocks. It must not itself execute critical events.
 	EventObserver func(thread ThreadNum, gc GCount)
+	// ObsSampleRate controls 1-in-N sampling of the latency histograms
+	// (GC-hold, turn-wait): only events whose counter value is a multiple of
+	// N are timed, so the common-case critical event performs no time.Now
+	// calls. Event counts stay exact. Zero selects the default
+	// (core.ObsSampleDefault, 64); 1 times every event; other values round
+	// up to a power of two.
+	ObsSampleRate int
 }
 
 // GCount is a global-counter (logical clock) value.
@@ -241,6 +248,7 @@ func NewNode(cfg Config) (*Node, error) {
 		RecordJitter:  cfg.RecordJitter,
 		StallTimeout:  cfg.StallTimeout,
 		EventObserver: cfg.EventObserver,
+		ObsSampleRate: cfg.ObsSampleRate,
 	})
 	if err != nil {
 		return nil, err

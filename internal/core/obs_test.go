@@ -54,7 +54,9 @@ func mixedWorkload(t *testing.T, cfg Config) *VM {
 // per-kind critical-event counts of a replay are identical to the record
 // phase's, and the replay progress gauges land on 100%.
 func TestObsRecordReplayKindCountsMatch(t *testing.T) {
-	recVM := mixedWorkload(t, Config{ID: 80, Mode: ids.Record, RecordJitter: 3})
+	// ObsSampleRate 1 selects exhaustive latency timing so the
+	// GCHold.Count == TotalEvents identity below stays exact.
+	recVM := mixedWorkload(t, Config{ID: 80, Mode: ids.Record, RecordJitter: 3, ObsSampleRate: 1})
 	rec := recVM.Metrics().Snapshot()
 	if rec.Events.Shared == 0 || rec.Events.MonitorEnter == 0 || rec.Events.MonitorExit == 0 ||
 		rec.Events.Wait == 0 || rec.Events.Notify == 0 || rec.Events.Thread == 0 {

@@ -38,6 +38,12 @@ type Thread struct {
 	pos      ids.GCount
 	posInit  bool
 
+	// turnCh delivers this thread's wake token when its awaited counter
+	// value is reached (successor-directed wakeup; see VM.turnWaiters).
+	// Buffered so the waker never blocks; at most one token is ever
+	// outstanding because each counter value has a single waiter.
+	turnCh chan struct{}
+
 	// rng drives record-mode scheduler jitter. Only the owning goroutine
 	// touches it; zero means unseeded.
 	rng uint64
@@ -156,33 +162,95 @@ func (t *Thread) CriticalKind(kind obs.EventKind, op func(gc ids.GCount)) {
 func (vm *VM) recordEvent(t *Thread, kind obs.EventKind, op func(gc ids.GCount)) {
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
-	gc := vm.clock
-	start := time.Now()
+	gc := ids.GCount(vm.clock.Load())
+	sampled := uint64(gc)&vm.sampleMask == 0
+	var start time.Time
+	if sampled {
+		start = time.Now()
+	}
 	op(gc)
 	if vm.observer != nil {
 		vm.observer(t.num, gc)
 	}
-	vm.metrics.ObserveGCHold(time.Since(start))
-	vm.clock++
-	vm.metrics.IncEvent(kind, uint64(vm.clock))
+	if sampled {
+		vm.metrics.ObserveGCHold(time.Since(start))
+	}
+	vm.clock.Store(uint64(gc) + 1)
+	vm.metrics.IncEvent(kind, uint64(gc)+1)
 	t.extendIntervalLocked(gc)
 }
 
 // replayEvent waits for the event's turn, executes it, and advances the
 // counter (§2.2).
+//
+// With no EventObserver installed the common path runs without vm.mu: the
+// recorded schedule admits exactly one thread per counter value, so until
+// this thread advances the clock no other thread may execute a critical
+// event — the schedule itself provides the mutual exclusion. mu is then
+// taken only to park (awaitTurn) and to hand the wake token to a parked
+// successor. With an observer the event keeps the GC-critical section
+// locked, preserving the documented contract that the stall watchdog's
+// progress probe serializes behind a blocking callback.
 func (vm *VM) replayEvent(t *Thread, kind obs.EventKind, next ids.GCount, op func(gc ids.GCount)) {
+	if vm.observer == nil {
+		if ids.GCount(vm.clock.Load()) != next {
+			vm.awaitTurn(t, next)
+		}
+		sampled := uint64(next)&vm.sampleMask == 0
+		var start time.Time
+		if sampled {
+			start = time.Now()
+		}
+		op(next)
+		if sampled {
+			vm.metrics.ObserveGCHold(time.Since(start))
+		}
+		after := uint64(next) + 1
+		vm.clock.Store(after)
+		vm.metrics.IncEvent(kind, after)
+		// Store-buffering pairing with waitTurnLocked: the clock store above
+		// is sequenced before this parked load, and a waiter publishes its
+		// parked count before re-checking the clock — so either the waiter is
+		// visible here, or it sees the advanced clock and never parks.
+		if vm.parked.Load() != 0 {
+			vm.mu.Lock()
+			vm.wakeTurnLocked(ids.GCount(after))
+			vm.mu.Unlock()
+		}
+		return
+	}
+
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	vm.waitTurnLocked(t, next)
-	start := time.Now()
-	op(next)
-	if vm.observer != nil {
-		vm.observer(t.num, next)
+	sampled := uint64(next)&vm.sampleMask == 0
+	var start time.Time
+	if sampled {
+		start = time.Now()
 	}
-	vm.metrics.ObserveGCHold(time.Since(start))
-	vm.clock++
-	vm.metrics.IncEvent(kind, uint64(vm.clock))
-	vm.cond.Broadcast()
+	op(next)
+	vm.observer(t.num, next)
+	if sampled {
+		vm.metrics.ObserveGCHold(time.Since(start))
+	}
+	after := uint64(next) + 1
+	vm.clock.Store(after)
+	vm.metrics.IncEvent(kind, after)
+	vm.wakeTurnLocked(ids.GCount(after))
+}
+
+// wakeTurnLocked hands the turn to the thread whose recorded event is gc, if
+// one is parked. At most one thread ever waits per counter value, so this
+// wakes exactly the successor; the watchdog's stall broadcast is the only
+// all-waiter wakeup. The registration stays in place — the woken thread
+// unregisters itself once it reacquires mu. Caller holds vm.mu.
+func (vm *VM) wakeTurnLocked(gc ids.GCount) {
+	if t := vm.turnWaiters[gc]; t != nil {
+		select {
+		case t.turnCh <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // awaitTurn blocks until the global counter reaches next without executing
@@ -194,30 +262,44 @@ func (vm *VM) awaitTurn(t *Thread, next ids.GCount) {
 }
 
 // waitTurnLocked parks the thread until the global counter reaches next,
-// registering it for the stall watchdog and the parked-thread gauge, and
-// feeding the turn-wait latency histogram. Caller holds vm.mu.
+// registering it in the successor-directed wakeup table (and with it the
+// stall watchdog) and feeding the sampled turn-wait latency histogram.
+// Caller holds vm.mu.
 func (vm *VM) waitTurnLocked(t *Thread, next ids.GCount) {
-	if vm.clock == next {
+	if ids.GCount(vm.clock.Load()) == next {
 		return // its turn already: no wait to observe
 	}
-	start := time.Now()
+	sampled := uint64(next)&vm.sampleMask == 0
+	var start time.Time
+	if sampled {
+		start = time.Now()
+	}
+	// Publish the parked count before re-checking the clock: a lock-free
+	// advancer that misses it must have stored the new clock value first,
+	// which the loop's re-check then sees (pairing in replayEvent).
+	vm.parked.Add(1)
 	vm.metrics.IncParked()
-	defer func() {
-		vm.metrics.DecParked()
-		vm.metrics.ObserveTurnWait(time.Since(start))
-	}()
-	for vm.clock != next {
+	for ids.GCount(vm.clock.Load()) != next {
 		if vm.stalled {
+			vm.parked.Add(-1)
+			vm.metrics.DecParked()
 			panic(&DivergenceError{
 				VM:     vm.id,
 				Thread: t.num,
 				Msg: fmt.Sprintf("replay stalled at counter %d; this thread waits for counter %d (parked threads: %v)",
-					vm.clock, next, vm.waiters),
+					ids.GCount(vm.clock.Load()), next, vm.waitingLocked()),
 			})
 		}
-		vm.waiters[t.num] = next
-		vm.cond.Wait()
-		delete(vm.waiters, t.num)
+		vm.turnWaiters[next] = t
+		vm.mu.Unlock()
+		<-t.turnCh
+		vm.mu.Lock()
+		delete(vm.turnWaiters, next)
+	}
+	vm.parked.Add(-1)
+	vm.metrics.DecParked()
+	if sampled {
+		vm.metrics.ObserveTurnWait(time.Since(start))
 	}
 }
 
@@ -265,12 +347,10 @@ func (t *Thread) BlockingKind(kind obs.EventKind, op func(), mark func(gc ids.GC
 		}
 		vm.awaitTurn(t, next)
 		op()
-		vm.replayEvent(t, kind, next, func(gc ids.GCount) {
-			// Only this thread may advance the counter past next, so the
-			// inner turn wait returns immediately; the shared path keeps the
-			// panic-safety discipline in one place.
-			mark(gc)
-		})
+		// Only this thread may advance the counter past next, so the inner
+		// turn check in replayEvent passes immediately; the shared path keeps
+		// the panic-safety discipline in one place.
+		vm.replayEvent(t, kind, next, mark)
 		t.advanceCursor()
 	}
 }

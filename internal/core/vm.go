@@ -28,12 +28,17 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ids"
 	"repro/internal/obs"
 	"repro/internal/tracelog"
 )
+
+// ObsSampleDefault is the default 1-in-N latency sampling rate applied to the
+// GC-hold and turn-wait histograms (see Config.ObsSampleRate).
+const ObsSampleDefault = 64
 
 // Config configures one DJVM instance.
 type Config struct {
@@ -91,6 +96,17 @@ type Config struct {
 	// correctness: any record-phase schedule is a valid schedule, and replay
 	// mode ignores the knob entirely.
 	RecordJitter int
+	// ObsSampleRate controls 1-in-N sampling of the latency histograms
+	// (GC-hold and turn-wait): events whose counter value is a multiple of N
+	// are timed; every other event skips the clock reads entirely, so the
+	// common-case GC-critical section performs no time.Now calls. Event
+	// *counts* stay exact — only latency observation is sampled. Zero selects
+	// ObsSampleDefault; 1 times every event (the exhaustive pre-sampling
+	// behavior); other values round up to the next power of two. Because
+	// sampling keys off the counter value, a workload whose latency varies
+	// with a period equal to the rounded rate can alias; pick a different
+	// power of two if that matters.
+	ObsSampleRate int
 }
 
 // ResumePoint identifies where a resumed replay picks up.
@@ -116,17 +132,28 @@ type VM struct {
 	world ids.World
 	peers map[string]bool
 
-	// mu is the GC-critical-section lock: it guards clock and, in record
-	// mode, makes counter update + event execution one atomic operation.
+	// mu is the GC-critical-section lock: in record mode it makes counter
+	// update + event execution one atomic operation. In replay mode with no
+	// EventObserver installed, scheduled threads advance the clock lock-free
+	// — the recorded schedule admits exactly one thread per counter value,
+	// so the schedule itself is the mutual exclusion — and mu guards only
+	// the park/wake bookkeeping (turnWaiters, stalled).
 	mu    sync.Mutex
-	cond  *sync.Cond // broadcast whenever clock advances (replay gating)
-	clock ids.GCount
+	clock atomic.Uint64 // the global counter (an ids.GCount)
 
-	jitter   uint64 // yield 1-in-jitter after record-mode critical events
-	observer func(thread ids.ThreadNum, gc ids.GCount)
+	jitter     uint64 // yield 1-in-jitter after record-mode critical events
+	sampleMask uint64 // counter values with gc&mask==0 get latency-timed
+	observer   func(thread ids.ThreadNum, gc ids.GCount)
 
-	// Replay stall watchdog state, guarded by mu.
-	waiters      map[ids.ThreadNum]ids.GCount // threads parked on their turn
+	// Replay gating: successor-directed wakeup. Each parked thread registers
+	// under the counter value it awaits; the recorded schedule gives every
+	// counter value to at most one thread, so advancing the clock wakes
+	// exactly the successor whose turn it is (the stall watchdog's broadcast
+	// is the only all-waiter wakeup). Guarded by mu. parked counts the
+	// registered threads and is the lock-free fast path's cue to take mu and
+	// hand over the turn (see replayEvent).
+	turnWaiters  map[ids.GCount]*Thread
+	parked       atomic.Int64
 	stalled      bool
 	stopWatchdog chan struct{}
 
@@ -174,8 +201,17 @@ func NewVM(cfg Config) (*VM, error) {
 	if cfg.RecordJitter > 0 {
 		vm.jitter = uint64(cfg.RecordJitter)
 	}
+	rate := cfg.ObsSampleRate
+	if rate <= 0 {
+		rate = ObsSampleDefault
+	}
+	pow := uint64(1)
+	for pow < uint64(rate) {
+		pow <<= 1
+	}
+	vm.sampleMask = pow - 1
+	vm.metrics.SetHistSampleRate(pow)
 	vm.observer = cfg.EventObserver
-	vm.cond = sync.NewCond(&vm.mu)
 	switch cfg.Mode {
 	case ids.Record:
 		vm.logs = tracelog.NewSet()
@@ -209,11 +245,11 @@ func NewVM(cfg Config) (*VM, error) {
 		vm.metrics.SetFinalGC(uint64(sched.Meta.FinalGC))
 		if cfg.Resume != nil {
 			vm.resume = cfg.Resume
-			vm.clock = cfg.Resume.GC
+			vm.clock.Store(uint64(cfg.Resume.GC))
 			vm.nextThread = cfg.Resume.NextThread
 			vm.metrics.SetClock(uint64(cfg.Resume.GC))
 		}
-		vm.waiters = make(map[ids.ThreadNum]ids.GCount)
+		vm.turnWaiters = make(map[ids.GCount]*Thread)
 		if cfg.StallTimeout > 0 {
 			vm.stopWatchdog = make(chan struct{})
 			vm.metrics.SetWatchdogArmed(true)
@@ -267,9 +303,7 @@ func (vm *VM) ScheduleIndex() *tracelog.ScheduleIndex { return vm.schedIdx }
 
 // Clock reports the current global counter value.
 func (vm *VM) Clock() ids.GCount {
-	vm.mu.Lock()
-	defer vm.mu.Unlock()
-	return vm.clock
+	return ids.GCount(vm.clock.Load())
 }
 
 // Stats returns a compact snapshot of the VM's event counters — the two
@@ -314,6 +348,7 @@ func (vm *VM) newThreadLocked() *Thread {
 		vm.nextThread++
 	}
 	if vm.mode == ids.Replay {
+		t.turnCh = make(chan struct{}, 1)
 		t.schedule = vm.schedIdx.Intervals[t.num]
 		if vm.resume != nil {
 			trimmed, skipped := fastForward(t.schedule, vm.resume.GC)
@@ -378,14 +413,23 @@ func (vm *VM) watchdog(timeout time.Duration) {
 		case <-tick.C:
 		}
 		vm.mu.Lock()
-		switch {
-		case vm.clock != lastClock:
-			lastClock = vm.clock
+		switch now := ids.GCount(vm.clock.Load()); {
+		case now != lastClock:
+			lastClock = now
 			lastChange = time.Now()
-		case len(vm.waiters) > 0 && time.Since(lastChange) >= timeout:
+		case len(vm.turnWaiters) > 0 && time.Since(lastChange) >= timeout:
 			vm.stalled = true
 			vm.metrics.SetStalled()
-			vm.cond.Broadcast()
+			// The stall is the one case that must wake *every* parked thread,
+			// so each fails with its own diagnostics. Registrations are left
+			// in place: each thread unregisters itself on the way to its
+			// panic, so WaitingThreads stays accurate meanwhile.
+			for _, t := range vm.turnWaiters {
+				select {
+				case t.turnCh <- struct{}{}:
+				default:
+				}
+			}
 			vm.mu.Unlock()
 			return
 		}
@@ -399,9 +443,15 @@ func (vm *VM) watchdog(timeout time.Duration) {
 func (vm *VM) WaitingThreads() map[ids.ThreadNum]ids.GCount {
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
-	out := make(map[ids.ThreadNum]ids.GCount, len(vm.waiters))
-	for tn, gc := range vm.waiters {
-		out[tn] = gc
+	return vm.waitingLocked()
+}
+
+// waitingLocked derives the parked-thread diagnostic map from the wakeup
+// table. Caller holds vm.mu.
+func (vm *VM) waitingLocked() map[ids.ThreadNum]ids.GCount {
+	out := make(map[ids.ThreadNum]ids.GCount, len(vm.turnWaiters))
+	for gc, t := range vm.turnWaiters {
+		out[t.num] = gc
 	}
 	return out
 }
@@ -445,7 +495,7 @@ func (vm *VM) Close() {
 			VM:      vm.id,
 			World:   vm.world,
 			Threads: uint32(len(threads)),
-			FinalGC: vm.clock,
+			FinalGC: ids.GCount(vm.clock.Load()),
 		})
 	}
 }

@@ -33,6 +33,11 @@ type Metrics struct {
 	parked   atomic.Int64  // threads currently waiting for a replay turn
 	watchdog atomic.Uint32 // bit 0: armed, bit 1: stalled
 
+	// histSampleRate is the 1-in-N latency sampling rate the VM applies to
+	// the two histograms below (see core.Config.ObsSampleRate). Event counts
+	// stay exact; only latency observation is sampled.
+	histSampleRate atomic.Uint64
+
 	// TurnWait observes how long replaying threads wait for their scheduled
 	// turns (the replay serialization cost).
 	TurnWait Histogram
@@ -96,6 +101,11 @@ func (m *Metrics) LogAppend(file LogFile, bytes int) {
 
 // SetClock moves the clock gauge (used at VM construction and resume).
 func (m *Metrics) SetClock(gc uint64) { m.clock.Store(gc) }
+
+// SetHistSampleRate publishes the 1-in-N latency sampling rate the owning VM
+// applies to the TurnWait/GCHold histograms, so snapshot consumers can scale
+// histogram counts back to event populations.
+func (m *Metrics) SetHistSampleRate(n uint64) { m.histSampleRate.Store(n) }
 
 // SetFinalGC publishes the recorded schedule length a replay runs against.
 func (m *Metrics) SetFinalGC(gc uint64) { m.finalGC.Store(gc) }

@@ -101,6 +101,11 @@ type Snapshot struct {
 	Logs LogStats `json:"logs"`
 	// Replay is the live replay-progress gauge set.
 	Replay ReplayProgress `json:"replay"`
+	// HistSampleRate is the 1-in-N latency sampling rate behind TurnWait and
+	// GCHold: only events whose counter value is a multiple of N contributed
+	// a latency observation (counts elsewhere in the snapshot stay exact).
+	// 1 means every event was timed.
+	HistSampleRate uint64 `json:"hist_sample_rate,omitempty"`
 	// TurnWait is the replay turn-wait latency distribution.
 	TurnWait HistogramSnapshot `json:"turn_wait"`
 	// GCHold is the GC-critical-section hold-time distribution.
@@ -141,6 +146,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		WatchdogArmed: wd&watchdogArmedBit != 0,
 		Stalled:       wd&watchdogStalledBit != 0,
 	}
+	s.HistSampleRate = m.histSampleRate.Load()
 	s.TurnWait = m.TurnWait.Snapshot()
 	s.GCHold = m.GCHold.Snapshot()
 	return s

@@ -18,24 +18,53 @@ type ScheduleIndex struct {
 	Checkpoints []CheckpointEntry
 }
 
+// The Build*Index functions decode the byte stream directly into the index
+// structures, one stack-allocated scratch record at a time: replay startup
+// over a large log never materializes the intermediate []Entry slice that
+// Parse builds.
+
+// recErr surfaces a sticky decode failure with the failing record's kind and
+// offset, matching Parse's error text. Call after each scratch decode.
+func recErr(d *dec, k Kind) error {
+	if d.err != nil {
+		return fmt.Errorf("%w: decoding %v record at offset %d", ErrCorrupt, k, d.off)
+	}
+	return nil
+}
+
+// unexpectedRecord classifies an out-of-place kind byte: unknown kinds keep
+// newEntry's error, known-but-misplaced kinds report which log rejected them.
+func unexpectedRecord(k Kind, logName string) error {
+	if _, err := newEntry(k); err != nil {
+		return err
+	}
+	return corruptf("unexpected %v record in %s log", k, logName)
+}
+
 // BuildScheduleIndex decodes a schedule log and indexes it for replay.
 // Interval order within a thread is preserved from append order, which is the
 // thread's execution order; intervals are additionally validated to be
 // non-overlapping and increasing per thread.
 func BuildScheduleIndex(l *Log) (*ScheduleIndex, error) {
-	entries, err := l.Entries()
-	if err != nil {
-		return nil, err
-	}
 	idx := &ScheduleIndex{
 		Intervals:  make(map[ids.ThreadNum][]Interval),
 		Notifies:   make(map[ids.GCount][]ids.ThreadNum),
 		TimedWaits: make(map[ids.GCount]TimedWaitEntry),
 	}
+	d := &dec{buf: l.snapshot()}
 	sawMeta := false
-	for _, e := range entries {
-		switch v := e.(type) {
-		case *Interval:
+	for !d.done() {
+		k := Kind(d.u8())
+		if d.err != nil {
+			return nil, d.err
+		}
+		switch k {
+		case KindInterval:
+			var v Interval
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
 			if v.Last < v.First {
 				return nil, corruptf("interval for thread %d has Last %d < First %d", v.Thread, v.Last, v.First)
 			}
@@ -44,18 +73,38 @@ func BuildScheduleIndex(l *Log) (*ScheduleIndex, error) {
 				return nil, corruptf("intervals for thread %d out of order: [%d,%d] then [%d,%d]",
 					v.Thread, ivs[n-1].First, ivs[n-1].Last, v.First, v.Last)
 			}
-			idx.Intervals[v.Thread] = append(ivs, *v)
-		case *Notify:
+			idx.Intervals[v.Thread] = append(ivs, v)
+		case KindNotify:
+			var v Notify
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
 			idx.Notifies[v.GC] = v.Woken
-		case *TimedWaitEntry:
-			idx.TimedWaits[v.GC] = *v
-		case *VMMeta:
-			idx.Meta = *v
+		case KindTimedWait:
+			var v TimedWaitEntry
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
+			idx.TimedWaits[v.GC] = v
+		case KindVMMeta:
+			var v VMMeta
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
+			idx.Meta = v
 			sawMeta = true
-		case *CheckpointEntry:
-			idx.Checkpoints = append(idx.Checkpoints, *v)
+		case KindCheckpoint:
+			var v CheckpointEntry
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
+			idx.Checkpoints = append(idx.Checkpoints, v)
 		default:
-			return nil, corruptf("unexpected %v record in schedule log", e.Kind())
+			return nil, unexpectedRecord(k, "schedule")
 		}
 	}
 	if !sawMeta {
@@ -101,10 +150,6 @@ func (e dupError) Error() string {
 // connectionId makes duplicates impossible in practice, but the first entry
 // wins to mirror the paper's semantics.
 func BuildNetworkIndex(l *Log) (*NetworkIndex, error) {
-	entries, err := l.Entries()
-	if err != nil {
-		return nil, err
-	}
 	idx := &NetworkIndex{
 		ServerSockets: make(map[ids.NetworkEventID]ids.ConnectionID),
 		Reads:         make(map[ids.NetworkEventID]ReadEntry),
@@ -118,49 +163,109 @@ func BuildNetworkIndex(l *Log) (*NetworkIndex, error) {
 		OpenDatagrams: make(map[ids.NetworkEventID]OpenDatagramEntry),
 		Envs:          make(map[ids.NetworkEventID]EnvEntry),
 	}
-	for _, e := range entries {
-		switch v := e.(type) {
-		case *ServerSocketEntry:
+	d := &dec{buf: l.snapshot()}
+	for !d.done() {
+		k := Kind(d.u8())
+		if d.err != nil {
+			return nil, d.err
+		}
+		switch k {
+		case KindServerSocket:
+			var v ServerSocketEntry
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
 			if _, ok := idx.ServerSockets[v.ServerID]; !ok {
 				idx.ServerSockets[v.ServerID] = v.ClientID
 			}
-		case *ReadEntry:
+		case KindRead:
+			var v ReadEntry
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
 			if _, ok := idx.Reads[v.EventID]; ok {
 				return nil, dupError{KindRead}
 			}
-			idx.Reads[v.EventID] = *v
-		case *AvailableEntry:
+			idx.Reads[v.EventID] = v
+		case KindAvailable:
+			var v AvailableEntry
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
 			if _, ok := idx.Availables[v.EventID]; ok {
 				return nil, dupError{KindAvailable}
 			}
-			idx.Availables[v.EventID] = *v
-		case *BindEntry:
+			idx.Availables[v.EventID] = v
+		case KindBind:
+			var v BindEntry
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
 			if _, ok := idx.Binds[v.EventID]; ok {
 				return nil, dupError{KindBind}
 			}
-			idx.Binds[v.EventID] = *v
-		case *NetErrEntry:
+			idx.Binds[v.EventID] = v
+		case KindNetErr:
+			var v NetErrEntry
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
 			if _, ok := idx.Errs[v.EventID]; ok {
 				return nil, dupError{KindNetErr}
 			}
-			idx.Errs[v.EventID] = *v
-		case *OpenConnectEntry:
-			idx.OpenConnects[v.EventID] = *v
-		case *OpenAcceptEntry:
-			idx.OpenAccepts[v.EventID] = *v
-		case *OpenReadEntry:
-			idx.OpenReads[v.EventID] = *v
-		case *OpenWriteEntry:
-			idx.OpenWrites[v.EventID] = *v
-		case *OpenDatagramEntry:
-			idx.OpenDatagrams[v.EventID] = *v
-		case *EnvEntry:
+			idx.Errs[v.EventID] = v
+		case KindOpenConnect:
+			var v OpenConnectEntry
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
+			idx.OpenConnects[v.EventID] = v
+		case KindOpenAccept:
+			var v OpenAcceptEntry
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
+			idx.OpenAccepts[v.EventID] = v
+		case KindOpenRead:
+			var v OpenReadEntry
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
+			idx.OpenReads[v.EventID] = v
+		case KindOpenWrite:
+			var v OpenWriteEntry
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
+			idx.OpenWrites[v.EventID] = v
+		case KindOpenDatagram:
+			var v OpenDatagramEntry
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
+			idx.OpenDatagrams[v.EventID] = v
+		case KindEnv:
+			var v EnvEntry
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
 			if _, ok := idx.Envs[v.EventID]; ok {
 				return nil, dupError{KindEnv}
 			}
-			idx.Envs[v.EventID] = *v
+			idx.Envs[v.EventID] = v
 		default:
-			return nil, corruptf("unexpected %v record in network log", e.Kind())
+			return nil, unexpectedRecord(k, "network")
 		}
 	}
 	return idx, nil
@@ -179,23 +284,28 @@ type DatagramIndex struct {
 
 // BuildDatagramIndex indexes the datagram log for replay.
 func BuildDatagramIndex(l *Log) (*DatagramIndex, error) {
-	entries, err := l.Entries()
-	if err != nil {
-		return nil, err
-	}
 	idx := &DatagramIndex{
 		ByEvent:    make(map[ids.NetworkEventID]DatagramRecvEntry),
 		Deliveries: make(map[ids.DGNetworkEventID]int),
 	}
-	for _, e := range entries {
-		v, ok := e.(*DatagramRecvEntry)
-		if !ok {
-			return nil, corruptf("unexpected %v record in datagram log", e.Kind())
+	d := &dec{buf: l.snapshot()}
+	for !d.done() {
+		k := Kind(d.u8())
+		if d.err != nil {
+			return nil, d.err
+		}
+		if k != KindDatagramRecv {
+			return nil, unexpectedRecord(k, "datagram")
+		}
+		var v DatagramRecvEntry
+		v.decode(d)
+		if err := recErr(d, k); err != nil {
+			return nil, err
 		}
 		if _, dup := idx.ByEvent[v.EventID]; dup {
 			return nil, dupError{KindDatagramRecv}
 		}
-		idx.ByEvent[v.EventID] = *v
+		idx.ByEvent[v.EventID] = v
 		idx.Deliveries[v.Datagram]++
 	}
 	return idx, nil

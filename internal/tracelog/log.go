@@ -14,6 +14,10 @@ type Log struct {
 	mu      sync.Mutex
 	buf     []byte
 	entries int
+	// enc is the log's reusable encoder: Append encodes straight into buf
+	// under mu, so the hot record path allocates nothing beyond buf's own
+	// amortized growth.
+	enc enc
 	// onAppend, when set, observes each append's encoded size — the hook the
 	// observability layer uses to count log volume without the log importing
 	// it. Called outside the log's lock.
@@ -23,27 +27,37 @@ type Log struct {
 // NewLog returns an empty log.
 func NewLog() *Log { return &Log{} }
 
-// SetObserver registers fn to be called after every Append with the encoded
-// size of the appended entry. Set it before the log is shared between
-// goroutines (a VM wires it at construction); passing nil removes the hook.
+// SetObserver registers fn to observe each subsequent Append's encoded size —
+// the hook the observability layer uses to count log volume without the log
+// importing it. fn runs outside the log's lock, after the append is visible.
+//
+// Contract: install the observer while the log is still empty (a VM wires it
+// at construction, before any thread can append). Installing one later would
+// silently under-count bytes already in the log, so SetObserver panics if the
+// log already holds records. Passing nil removes the hook.
 func (l *Log) SetObserver(fn func(bytes int)) {
 	l.mu.Lock()
+	defer l.mu.Unlock()
+	if fn != nil && l.entries > 0 {
+		panic("tracelog: SetObserver on a log that already holds records")
+	}
 	l.onAppend = fn
-	l.mu.Unlock()
 }
 
 // Append encodes and appends one entry.
 func (l *Log) Append(e Entry) {
-	var ec enc
-	ec.u8(uint8(e.Kind()))
-	e.encode(&ec)
 	l.mu.Lock()
-	l.buf = append(l.buf, ec.buf...)
+	l.enc.buf = l.buf
+	l.enc.u8(uint8(e.Kind()))
+	e.encode(&l.enc)
+	n := len(l.enc.buf) - len(l.buf)
+	l.buf = l.enc.buf
+	l.enc.buf = nil
 	l.entries++
 	fn := l.onAppend
 	l.mu.Unlock()
 	if fn != nil {
-		fn(len(ec.buf))
+		fn(n)
 	}
 }
 
@@ -71,18 +85,39 @@ func (l *Log) Bytes() []byte {
 	return out
 }
 
-// Entries decodes and returns every record in append order.
-func (l *Log) Entries() ([]Entry, error) {
-	return Parse(l.Bytes())
+// snapshot returns the encoded stream without copying. Appends only ever grow
+// buf past its current length (in place or into a fresh array), so the
+// returned prefix stays immutable; callers must treat it as read-only.
+func (l *Log) snapshot() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.buf
 }
 
-// SaveFile writes the encoded log to path, creating parent directories.
+// Entries decodes and returns every record in append order.
+func (l *Log) Entries() ([]Entry, error) {
+	return Parse(l.snapshot())
+}
+
+// SaveFile writes the encoded log to path, creating parent directories. The
+// stream is written straight from the log's buffer under its lock, with no
+// intermediate copy.
 func (l *Log) SaveFile(path string) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("tracelog: save %s: %w", path, err)
 	}
-	if err := os.WriteFile(path, l.Bytes(), 0o644); err != nil {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return fmt.Errorf("tracelog: save %s: %w", path, err)
+	}
+	l.mu.Lock()
+	_, werr := f.Write(l.buf)
+	l.mu.Unlock()
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("tracelog: save %s: %w", path, werr)
 	}
 	return nil
 }
@@ -170,8 +205,42 @@ func LoadSet(dir string) (*Set, error) {
 		if err != nil {
 			return nil, fmt.Errorf("tracelog: load set: %w", err)
 		}
+		n, err := countRecords(data)
+		if err != nil {
+			return nil, fmt.Errorf("tracelog: load set: %s: %w", f.name, err)
+		}
 		f.log.buf = data
-		// Entry count is recovered lazily by Parse when needed.
+		f.log.entries = n
 	}
 	return s, nil
+}
+
+// countRecords walks an encoded stream, validating the framing and returning
+// the number of records, so a loaded Log reports the same Len() the recording
+// Log did. Records are decoded into one scratch value per kind rather than
+// allocated per record (every entry decode overwrites all of its fields).
+func countRecords(data []byte) (int, error) {
+	d := &dec{buf: data}
+	var scratch [kindMax]Entry
+	n := 0
+	for !d.done() {
+		k := Kind(d.u8())
+		if d.err != nil {
+			return 0, d.err
+		}
+		if int(k) >= len(scratch) || scratch[k] == nil {
+			e, err := newEntry(k)
+			if err != nil {
+				return 0, err
+			}
+			scratch[k] = e
+		}
+		e := scratch[k]
+		e.decode(d)
+		if d.err != nil {
+			return 0, fmt.Errorf("%w: decoding %v record at offset %d", ErrCorrupt, k, d.off)
+		}
+		n++
+	}
+	return n, nil
 }
