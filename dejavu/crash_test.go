@@ -1,0 +1,167 @@
+package dejavu_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/dejavu"
+)
+
+// crashShape is a randomly generated single-node workload: worker threads
+// hammering a monitor-guarded counter plus a racy one, so the recorded
+// schedule interleaves heavily and a truncation point can land anywhere.
+type crashShape struct {
+	workers int
+	iters   int
+}
+
+func crashShapeFromSeed(seed int64) crashShape {
+	rng := rand.New(rand.NewSource(seed))
+	return crashShape{workers: 2 + rng.Intn(3), iters: 8 + rng.Intn(10)}
+}
+
+// crashNode builds a node for the crash workload whose EventObserver appends
+// each critical event's (thread, counter) pair to *trace.
+func crashNode(t *testing.T, cfg dejavu.Config, trace *[]string) *dejavu.Node {
+	t.Helper()
+	cfg.EventObserver = func(tn dejavu.ThreadNum, gc dejavu.GCount) {
+		*trace = append(*trace, fmt.Sprintf("t%d@%d", tn, gc))
+	}
+	cfg.Network = dejavu.NewNetwork(dejavu.NetworkConfig{Seed: 1})
+	cfg.Host = "crashnode"
+	cfg.World = dejavu.ClosedWorld
+	cfg.ID = 81
+	cfg.StallTimeout = 20 * time.Second
+	node, err := dejavu.NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return node
+}
+
+// runCrashWorkload executes the shape on node and waits it out. The workload
+// coordinates exclusively through instrumented primitives (Spawn, Join,
+// Monitor, SharedInt) so that a replay of a truncated schedule winds down
+// cleanly under StopAtLogEnd instead of parking on a raw channel.
+func runCrashWorkload(s crashShape, node *dejavu.Node) {
+	var ordered, racy dejavu.SharedInt
+	mon := dejavu.NewMonitor()
+	node.Start(func(main *dejavu.Thread) {
+		children := make([]*dejavu.Thread, s.workers)
+		for w := 0; w < s.workers; w++ {
+			children[w] = main.Spawn(func(th *dejavu.Thread) {
+				for i := 0; i < s.iters; i++ {
+					mon.Enter(th)
+					ordered.Set(th, ordered.Get(th)+1)
+					mon.Exit(th)
+					racy.Set(th, racy.Get(th)+1)
+				}
+			})
+		}
+		for _, c := range children {
+			main.Join(c)
+		}
+	})
+	node.Wait()
+	node.Close()
+}
+
+// TestCrashRecoveryReplaysExactEventPrefix is the crash-safety property test:
+// a node recording through a WAL is "killed" at an arbitrary byte offset (the
+// durable file is cut mid-frame, exactly as a crash between write and fsync
+// would leave it), Recover salvages the replayable prefix [0, K), and a
+// replay of the recovered set with StopAtLogEnd observes exactly the first K
+// critical events of the original run — same threads, same counters, same
+// order.
+func TestCrashRecoveryReplaysExactEventPrefix(t *testing.T) {
+	for _, seed := range []int64{3, 17, 202} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			s := crashShapeFromSeed(seed)
+			dir := t.TempDir()
+			walPath := filepath.Join(dir, "node.wal")
+
+			var recTrace []string
+			recNode := crashNode(t, dejavu.Config{Mode: dejavu.Record, RecordJitter: 3}, &recTrace)
+			if err := recNode.EnableWAL(walPath, dejavu.WALOptions{SyncEvery: 8}); err != nil {
+				t.Fatal(err)
+			}
+			runCrashWorkload(s, recNode)
+			fullGC := len(recTrace)
+			if fullGC == 0 {
+				t.Fatal("record phase observed no events")
+			}
+
+			data, err := os.ReadFile(walPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Crash points: a handful of random offsets plus two anchored
+			// ones — the intact file (a clean shutdown recovers and replays
+			// in full) and a cut at 3/4 of the file, which must recover a
+			// substantial prefix. The 3/4 floor is the regression guard for
+			// the parked-thread hole: without open-interval durability notes,
+			// main parked in Join never flushes the interval covering counter
+			// 0 and every mid-run cut collapses to the vacuous prefix [0,0).
+			rng := rand.New(rand.NewSource(seed * 7919))
+			cut75 := len(data) * 3 / 4
+			cuts := []int{len(data), cut75}
+			for i := 0; i < 6; i++ {
+				cuts = append(cuts, 9+rng.Intn(len(data)-9))
+			}
+			wantMin := map[int]int{len(data): fullGC, cut75: fullGC / 2}
+
+			for _, cut := range cuts {
+				cutPath := filepath.Join(dir, fmt.Sprintf("cut%d.wal", cut))
+				if err := os.WriteFile(cutPath, data[:cut], 0o644); err != nil {
+					t.Fatal(err)
+				}
+				logs, rep, err := dejavu.Recover(cutPath)
+				if err != nil {
+					if rep != nil && rep.Frames == 0 {
+						continue // nothing salvaged, not even the identity header
+					}
+					t.Fatalf("cut=%d: Recover: %v", cut, err)
+				}
+				k := int(rep.FinalGC)
+				if k > fullGC {
+					t.Fatalf("cut=%d: recovered prefix %d exceeds recorded run of %d events", cut, k, fullGC)
+				}
+				if min, ok := wantMin[cut]; ok && k < min {
+					t.Fatalf("cut=%d of %d bytes: recovered prefix [0,%d), want at least %d of %d events",
+						cut, len(data), k, min, fullGC)
+				}
+
+				var repTrace []string
+				repNode := crashNode(t, dejavu.Config{
+					Mode: dejavu.Replay, ReplayLogs: logs, StopAtLogEnd: true,
+				}, &repTrace)
+				runCrashWorkload(s, repNode)
+
+				if len(repTrace) != k {
+					t.Fatalf("cut=%d: replay observed %d events, recovered prefix is [0,%d)",
+						cut, len(repTrace), k)
+				}
+				for i := 0; i < k; i++ {
+					if repTrace[i] != recTrace[i] {
+						t.Fatalf("cut=%d: event %d: record %s, replay %s",
+							cut, i, recTrace[i], repTrace[i])
+					}
+				}
+				if k < fullGC && repNode.LogEndStops() == 0 {
+					t.Errorf("cut=%d: truncated replay (prefix %d of %d) reported no log-end stops",
+						cut, k, fullGC)
+				}
+				if k == fullGC && repNode.LogEndStops() != 0 {
+					t.Errorf("cut=%d: full replay reported %d log-end stops",
+						cut, repNode.LogEndStops())
+				}
+			}
+		})
+	}
+}

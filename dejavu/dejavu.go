@@ -52,6 +52,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/rudp"
 	"repro/internal/tracelog"
 )
 
@@ -131,6 +132,30 @@ type (
 	Logs = tracelog.Set
 	// CheckpointSnapshot is one recorded checkpoint.
 	CheckpointSnapshot = checkpoint.Snapshot
+
+	// WALOptions tunes a node's durable write-ahead trace log (sync cadence).
+	WALOptions = tracelog.WALOptions
+	// RecoveryReport describes what Recover salvaged from a crashed node's
+	// write-ahead log.
+	RecoveryReport = tracelog.RecoveryReport
+	// RetryPolicy bounds the redial loop applied to transient connect
+	// failures. See Config.ConnectRetry.
+	RetryPolicy = djsock.RetryPolicy
+	// FaultCounts groups a snapshot's fault-tolerance counters (WAL syncs,
+	// connect retries, unreachable peers, log-end stops).
+	FaultCounts = obs.FaultCounts
+)
+
+// Fault-tolerance errors surfaced through the facade.
+var (
+	// ErrReset is returned by stream operations whose connection was reset
+	// because a fault plan crashed one of its endpoints.
+	ErrReset = netsim.ErrReset
+	// ErrPeerUnreachable is returned when the reliable datagram layer
+	// exhausts its retry budget against a dead or partitioned peer.
+	ErrPeerUnreachable = rudp.ErrPeerUnreachable
+	// ErrTimeout is the uniform SO_TIMEOUT expiry error of the socket layer.
+	ErrTimeout = djsock.ErrTimeout
 )
 
 // Execution modes.
@@ -206,6 +231,14 @@ type Config struct {
 	// it returns, and the stall watchdog will not fire a spurious stall
 	// while it blocks. It must not itself execute critical events.
 	EventObserver func(thread ThreadNum, gc GCount)
+	// StopAtLogEnd softens replay of a crash-recovered (truncated) log: a
+	// thread whose next event lies beyond the recovered schedule stops
+	// cleanly — releasing its joiners — instead of raising a divergence. The
+	// run then reproduces exactly the prefix that survived the crash.
+	StopAtLogEnd bool
+	// ConnectRetry bounds the redial loop Connect applies to transient
+	// failures (refused, timed out). The zero value disables retries.
+	ConnectRetry RetryPolicy
 	// ObsSampleRate controls 1-in-N sampling of the latency histograms
 	// (GC-hold, turn-wait): only events whose counter value is a multiple of
 	// N are timed, so the common-case critical event performs no time.Now
@@ -247,15 +280,18 @@ func NewNode(cfg Config) (*Node, error) {
 		Resume:        cfg.Resume,
 		RecordJitter:  cfg.RecordJitter,
 		StallTimeout:  cfg.StallTimeout,
+		StopAtLogEnd:  cfg.StopAtLogEnd,
 		EventObserver: cfg.EventObserver,
 		ObsSampleRate: cfg.ObsSampleRate,
 	})
 	if err != nil {
 		return nil, err
 	}
+	sock := djsock.NewEnv(vm, cfg.Network, cfg.Host)
+	sock.ConnectRetry = cfg.ConnectRetry
 	return &Node{
 		vm:   vm,
-		sock: djsock.NewEnv(vm, cfg.Network, cfg.Host),
+		sock: sock,
 		gram: djgram.NewEnv(vm, cfg.Network, cfg.Host),
 		env:  djenv.New(vm),
 	}, nil
@@ -340,6 +376,39 @@ func (n *Node) NewRPCServer() *RPCServer { return djrpc.NewServer(n.sock) }
 // NewRPCClient creates an RPC client calling the server at addr through
 // this node.
 func (n *Node) NewRPCClient(addr Addr) *RPCClient { return djrpc.NewClient(n.sock, addr) }
+
+// EnableWAL makes the node's record-phase logging durable: every log record
+// is framed, checksummed and appended to a single write-ahead log file at
+// path, fsynced every WALOptions.SyncEvery records. Call it on a record-mode
+// node before Start. If the process dies mid-run, Recover salvages the
+// consistent prefix of the file and the run replays deterministically up to
+// the crash point.
+func (n *Node) EnableWAL(path string, opts WALOptions) error {
+	return n.vm.EnableWAL(path, opts)
+}
+
+// SyncWAL forces an immediate fsync of the node's write-ahead log. It is a
+// no-op when no WAL is enabled.
+func (n *Node) SyncWAL() error {
+	logs := n.vm.Logs()
+	if logs == nil {
+		return nil
+	}
+	return logs.SyncWAL()
+}
+
+// LogEndStops reports how many replay threads stopped cleanly at the end of a
+// crash-recovered schedule (Config.StopAtLogEnd).
+func (n *Node) LogEndStops() uint64 { return n.vm.LogEndStops() }
+
+// Recover reads a write-ahead log written by EnableWAL — including one left
+// by a crashed process — truncates it at the first torn or corrupt frame, and
+// returns the salvaged log set, repaired to the longest replayable prefix,
+// with a report of what was kept and dropped. Replay the result with
+// Config.StopAtLogEnd set.
+func Recover(path string) (*Logs, *RecoveryReport, error) {
+	return tracelog.RecoverFile(path)
+}
 
 // SaveLogs persists the node's record-phase logs under dir.
 func (n *Node) SaveLogs(dir string) error {

@@ -32,6 +32,12 @@ type Thread struct {
 	intOpen  bool
 	finished bool
 
+	// Last open-interval durability note written for this thread (WAL crash
+	// recovery; see VM.noteOpenIntervalsLocked). Guarded by vm.mu.
+	noted     bool
+	noteFirst ids.GCount
+	noteLast  ids.GCount
+
 	// Replay-mode schedule cursor. Only the owning goroutine touches it.
 	schedule []tracelog.Interval
 	si       int
@@ -115,6 +121,21 @@ func (t *Thread) diverge(format string, args ...any) {
 	panic(&DivergenceError{VM: t.vm.id, Thread: t.num, Msg: fmt.Sprintf(format, args...)})
 }
 
+// replayLogEnd is the private panic signal a thread raises to abandon its
+// function when it runs out of recorded schedule under Config.StopAtLogEnd;
+// VM.launch absorbs it and winds the thread down as a normal return.
+type replayLogEnd struct{}
+
+// endOfSchedule resolves a replay attempt beyond the recorded schedule:
+// a clean stop under StopAtLogEnd (crash-recovery replay reached the crash
+// point), a divergence otherwise. Never returns.
+func (t *Thread) endOfSchedule(what string) {
+	if t.vm.stopAtLogEnd {
+		panic(replayLogEnd{})
+	}
+	t.diverge("%s attempted beyond recorded schedule", what)
+}
+
 // Critical executes op as one non-blocking critical event.
 //
 //   - Record: op runs inside the GC-critical section, atomically with the
@@ -147,7 +168,7 @@ func (t *Thread) CriticalKind(kind obs.EventKind, op func(gc ids.GCount)) {
 	case ids.Replay:
 		next, ok := t.nextScheduled()
 		if !ok {
-			t.diverge("critical event attempted beyond recorded schedule")
+			t.endOfSchedule("critical event")
 		}
 		vm.replayEvent(t, kind, next, op)
 		t.advanceCursor()
@@ -178,6 +199,9 @@ func (vm *VM) recordEvent(t *Thread, kind obs.EventKind, op func(gc ids.GCount))
 	vm.clock.Store(uint64(gc) + 1)
 	vm.metrics.IncEvent(kind, uint64(gc)+1)
 	t.extendIntervalLocked(gc)
+	if vm.noteEvery != 0 && (uint64(gc)+1)%vm.noteEvery == 0 {
+		vm.noteOpenIntervalsLocked()
+	}
 }
 
 // replayEvent waits for the event's turn, executes it, and advances the
@@ -343,7 +367,7 @@ func (t *Thread) BlockingKind(kind obs.EventKind, op func(), mark func(gc ids.GC
 	case ids.Replay:
 		next, ok := t.nextScheduled()
 		if !ok {
-			t.diverge("blocking critical event attempted beyond recorded schedule")
+			t.endOfSchedule("blocking critical event")
 		}
 		vm.awaitTurn(t, next)
 		op()

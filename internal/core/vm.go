@@ -96,6 +96,14 @@ type Config struct {
 	// correctness: any record-phase schedule is a valid schedule, and replay
 	// mode ignores the knob entirely.
 	RecordJitter int
+	// StopAtLogEnd, when true in replay mode, makes a thread that attempts a
+	// critical event beyond its recorded schedule stop cleanly (its function
+	// is abandoned, joiners are released) instead of panicking with a
+	// DivergenceError. This is the mode crash recovery replays under: a log
+	// salvaged from a crashed node ends mid-run, so every thread eventually
+	// runs out of schedule — that is the crash point, not a divergence.
+	// Events inside the recovered prefix are unaffected and replay exactly.
+	StopAtLogEnd bool
 	// ObsSampleRate controls 1-in-N sampling of the latency histograms
 	// (GC-hold and turn-wait): events whose counter value is a multiple of N
 	// are timed; every other event skips the clock reads entirely, so the
@@ -158,6 +166,17 @@ type VM struct {
 	stopWatchdog chan struct{}
 
 	logs *tracelog.Set // record mode
+
+	// noteEvery is the open-interval durability-note cadence (events between
+	// note rounds) when a WAL is attached; 0 disables notes. Each round
+	// snapshots every thread's still-open schedule interval into the WAL so
+	// crash recovery can credit coverage a parked thread has not flushed yet.
+	noteEvery uint64
+
+	// stopAtLogEnd makes threads that exhaust their recorded schedule stop
+	// cleanly (crash-recovery replay); logEndStops counts them.
+	stopAtLogEnd bool
+	logEndStops  atomic.Uint64
 
 	schedIdx *tracelog.ScheduleIndex // replay mode
 	netIdx   *tracelog.NetworkIndex
@@ -242,6 +261,7 @@ func NewVM(cfg Config) (*VM, error) {
 			return nil, fmt.Errorf("core: vm %d: datagram log: %w", cfg.ID, err)
 		}
 		vm.schedIdx, vm.netIdx, vm.dgIdx = sched, netIdx, dgIdx
+		vm.stopAtLogEnd = cfg.StopAtLogEnd
 		vm.metrics.SetFinalGC(uint64(sched.Meta.FinalGC))
 		if cfg.Resume != nil {
 			vm.resume = cfg.Resume
@@ -288,6 +308,73 @@ func (vm *VM) IsDJVMPeer(host string) bool {
 
 // Logs exposes the record-phase log set (nil unless recording).
 func (vm *VM) Logs() *tracelog.Set { return vm.logs }
+
+// EnableWAL makes the record-phase logs durable: every subsequent log record
+// is teed into the write-ahead log at path, fsynced per opts, and a vm-meta
+// identity header is written first so tracelog.RecoverFile can rebuild a
+// replayable set even when the VM never reaches Close. Call before the first
+// critical event (the logs must still be empty). Close closes the WAL after
+// appending the final vm-meta, so a graceful shutdown leaves a complete
+// durable log; on a crash the file ends wherever the last fsync left it.
+//
+// WAL write errors after a successful EnableWAL do not stop recording —
+// durability degrades while the in-memory logs stay intact; check
+// Logs().WAL().Err() or the recovery report.
+func (vm *VM) EnableWAL(path string, opts tracelog.WALOptions) error {
+	if vm.mode != ids.Record {
+		return fmt.Errorf("core: vm %d: EnableWAL in %v mode", vm.id, vm.mode)
+	}
+	m := vm.metrics
+	userSync := opts.OnSync
+	opts.OnSync = func() {
+		m.IncWALSync()
+		if userSync != nil {
+			userSync()
+		}
+	}
+	w, err := tracelog.CreateWAL(path, opts)
+	if err != nil {
+		return err
+	}
+	if err := vm.logs.AttachWAL(w); err != nil {
+		w.Close()
+		return err
+	}
+	vm.logs.Schedule.Append(&tracelog.VMMeta{VM: vm.id, World: vm.world})
+	// Match the note cadence to the fsync cadence: finer notes would hit
+	// disk no sooner, coarser ones would let a synced prefix go uncredited.
+	if opts.SyncEvery > 0 {
+		vm.noteEvery = uint64(opts.SyncEvery)
+	} else {
+		vm.noteEvery = tracelog.DefaultSyncEvery
+	}
+	return nil
+}
+
+// noteOpenIntervalsLocked appends an OpenInterval durability note for every
+// thread whose schedule interval is still open and has grown since its last
+// note. Without these, a thread parked in a long blocking event (main in
+// Join, say) would never flush the interval covering the earliest counters,
+// and a crash would leave RecoverFile no evidence that those events were
+// scheduled — collapsing the replayable prefix to [0,0). Notes carry no
+// schedule semantics (the index and replay skip them); only repairSet reads
+// them. Caller holds vm.mu, so thread interval state is stable and the note
+// claims only events whose records already precede it in the WAL stream.
+func (vm *VM) noteOpenIntervalsLocked() {
+	vm.threadsMu.Lock()
+	threads := vm.threads
+	vm.threadsMu.Unlock()
+	for _, t := range threads {
+		if !t.intOpen || t.finished {
+			continue
+		}
+		if t.noted && t.noteFirst == t.intFirst && t.noteLast == t.intLast {
+			continue
+		}
+		vm.logs.Schedule.Append(&tracelog.OpenInterval{Thread: t.num, First: t.intFirst, Last: t.intLast})
+		t.noted, t.noteFirst, t.noteLast = true, t.intFirst, t.intLast
+	}
+}
 
 // NetworkIndex exposes the replay-phase network log index (nil unless
 // replaying).
@@ -388,9 +475,28 @@ func (vm *VM) launch(t *Thread, fn func(t *Thread)) {
 		defer close(t.done)
 		defer vm.activeWork.Done()
 		defer t.finish()
+		defer func() {
+			// Under StopAtLogEnd a thread abandons its function by panicking
+			// the private end-of-schedule signal; absorb it here so the
+			// thread winds down like a normal return (joiners release, the
+			// VM's wait group drains). Everything else keeps propagating.
+			if r := recover(); r != nil {
+				if _, ok := r.(replayLogEnd); ok && vm.stopAtLogEnd {
+					vm.logEndStops.Add(1)
+					vm.metrics.IncLogEndStop()
+					return
+				}
+				panic(r)
+			}
+		}()
 		fn(t)
 	}()
 }
+
+// LogEndStops reports how many threads stopped at the end of a truncated
+// recorded schedule (see Config.StopAtLogEnd). Once the VM has gone idle
+// (Wait returned), replay has reached the crash point when this is nonzero.
+func (vm *VM) LogEndStops() uint64 { return vm.logEndStops.Load() }
 
 // Wait blocks until every thread of the VM has returned.
 func (vm *VM) Wait() {
@@ -497,5 +603,9 @@ func (vm *VM) Close() {
 			Threads: uint32(len(threads)),
 			FinalGC: ids.GCount(vm.clock.Load()),
 		})
+		// With a WAL attached the final meta above is the last durable
+		// record; syncing and closing here makes a graceful shutdown
+		// indistinguishable from a plain saved log set.
+		vm.logs.CloseWAL()
 	}
 }

@@ -194,7 +194,13 @@ func (e *Env) Bind(t *core.Thread, port uint16) (*DatagramSocket, error) {
 		if err != nil {
 			return nil, divergef("bind to recorded port %d failed: %v", entry.Port, err)
 		}
-		return e.newSocket(s.Addr(), s, rudp.New(s, rudp.Config{})), nil
+		// The reliable layer's retry budget keeps replay from retransmitting
+		// forever at a peer that crashed; abandoned destinations surface in
+		// the VM's fault counters.
+		rc := rudp.New(s, rudp.Config{
+			OnUnreachable: func(netsim.Addr) { e.vm.Metrics().IncPeerUnreachable() },
+		})
+		return e.newSocket(s.Addr(), s, rc), nil
 	}
 }
 

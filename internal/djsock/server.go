@@ -261,7 +261,7 @@ func (s *ServerSocket) AcceptTimeout(t *core.Thread, d time.Duration) (*Socket, 
 	if e.vm.Mode() == ids.Passthrough {
 		conn, err := s.l.AcceptTimeout(d)
 		if err != nil {
-			return nil, err
+			return nil, mapTimeout(err)
 		}
 		return newSocket(e, conn, true), nil
 	}
@@ -278,6 +278,7 @@ func (s *ServerSocket) AcceptTimeout(t *core.Thread, d time.Duration) (*Socket, 
 		)
 		t.BlockingKind(obs.KindSocket, func() {
 			conn, err = s.l.AcceptTimeout(d)
+			err = mapTimeout(err)
 			if err != nil {
 				return
 			}

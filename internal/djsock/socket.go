@@ -55,7 +55,7 @@ func newOpenReplaySocket(e *Env, local, remote netsim.Addr) *Socket {
 // and the event is marked on completion (§4.1.3).
 func (e *Env) Connect(t *core.Thread, addr netsim.Addr) (*Socket, error) {
 	if e.vm.Mode() == ids.Passthrough {
-		s, err := e.net.Connect(e.host, addr)
+		s, err := e.dial(addr)
 		if err != nil {
 			return nil, err
 		}
@@ -74,7 +74,7 @@ func (e *Env) Connect(t *core.Thread, addr netsim.Addr) (*Socket, error) {
 			err error
 		)
 		t.BlockingKind(obs.KindSocket, func() {
-			s, err = e.net.Connect(e.host, addr)
+			s, err = e.dial(addr)
 			if err != nil || !closedSc {
 				return
 			}
@@ -124,7 +124,7 @@ func (e *Env) Connect(t *core.Thread, addr netsim.Addr) (*Socket, error) {
 		err error
 	)
 	t.BlockingKind(obs.KindSocket, func() {
-		s, err = e.net.Connect(e.host, addr)
+		s, err = e.dial(addr)
 		if err != nil {
 			err = divergef("connect %v: %v", addr, err)
 			return
@@ -248,7 +248,8 @@ func (s *Socket) Read(t *core.Thread, p []byte) (int, error) {
 func (s *Socket) ReadTimeout(t *core.Thread, p []byte, d time.Duration) (int, error) {
 	e := s.env
 	if e.vm.Mode() == ids.Passthrough {
-		return s.stream.ReadTimeout(p, d)
+		n, err := s.stream.ReadTimeout(p, d)
+		return n, mapTimeout(err)
 	}
 	if e.vm.Mode() == ids.Replay {
 		// Success and failure outcomes both replay through the plain-read
@@ -267,6 +268,7 @@ func (s *Socket) ReadTimeout(t *core.Thread, p []byte, d time.Duration) (int, er
 	)
 	t.BlockingKind(obs.KindSocket, func() {
 		n, err = s.stream.ReadTimeout(p, d)
+		err = mapTimeout(err)
 	}, func(ids.GCount) {
 		switch {
 		case err == io.EOF:

@@ -46,6 +46,13 @@ type Config struct {
 	// Logs supplies recorded logs for replay, ordered primary, replicas...,
 	// client (length Replicas+2).
 	Logs []*tracelog.Set
+	// PrimaryWAL, when set in record mode, makes the primary's logging
+	// durable: every log record is teed into a write-ahead log at this path,
+	// so a primary killed mid-run can be recovered with tracelog.RecoverFile.
+	PrimaryWAL string
+	// PrimaryWALSync is the WAL fsync cadence (tracelog.WALOptions.SyncEvery):
+	// 0 selects the default, negative syncs only on close.
+	PrimaryWALSync int
 }
 
 // DefaultChaos is a moderately hostile network for the store.
@@ -109,6 +116,12 @@ func Run(cfg Config) (Result, RunLogs, error) {
 	primaryVM, err := mkVM(1, logAt(0))
 	if err != nil {
 		return Result{}, nil, err
+	}
+	if cfg.PrimaryWAL != "" && cfg.Mode == ids.Record {
+		opts := tracelog.WALOptions{SyncEvery: cfg.PrimaryWALSync}
+		if err := primaryVM.EnableWAL(cfg.PrimaryWAL, opts); err != nil {
+			return Result{}, nil, err
+		}
 	}
 	replicaVMs := make([]*core.VM, cfg.Replicas)
 	for i := range replicaVMs {

@@ -31,6 +31,9 @@ type DatagramSocket struct {
 func (n *Network) DatagramBind(hostName string, port uint16) (*DatagramSocket, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if err := n.checkHostUpLocked(hostName); err != nil {
+		return nil, err
+	}
 	h := n.hostLocked(hostName)
 	p, err := n.allocPortLocked(h, port)
 	if err != nil {
@@ -73,6 +76,12 @@ func (ds *DatagramSocket) SendTo(addr Addr, data []byte) error {
 			}
 		}
 	} else {
+		if n.crashed[addr.Host] {
+			// A datagram to a crashed host blackholes: the sender sees
+			// success, as with real UDP to a dead machine.
+			n.mu.Unlock()
+			return nil
+		}
 		h := n.hosts[addr.Host]
 		if h == nil {
 			n.mu.Unlock()
@@ -94,10 +103,16 @@ func (ds *DatagramSocket) SendTo(addr Addr, data []byte) error {
 	return nil
 }
 
-// launch applies chaos to one datagram copy headed for t.
+// launch applies chaos and the fault plan to one datagram copy headed for t.
 func (ds *DatagramSocket) launch(t *DatagramSocket, payload []byte) {
 	n := ds.net
 	if n.chance(n.chaos.LossRate) {
+		return
+	}
+	if rate := n.linkLossRate(ds.addr.Host, t.addr.Host); rate > 0 && n.chance(rate) {
+		n.mu.Lock()
+		n.faults.DroppedByLinkLoss++
+		n.mu.Unlock()
 		return
 	}
 	copies := 1
@@ -110,6 +125,16 @@ func (ds *DatagramSocket) launch(t *DatagramSocket, payload []byte) {
 			d += n.delay(n.chaos.DeliverDelayMin, n.chaos.DeliverDelayMax)
 		}
 		n.after(d, func() {
+			// The partition check happens at arrival time, so a cut drops
+			// exactly the datagrams whose delivery would have crossed it
+			// while it stood — UDP offers no recovery after Heal.
+			n.mu.Lock()
+			if n.blockedLocked(ds.addr.Host, t.addr.Host) {
+				n.faults.DroppedByPartition++
+				n.mu.Unlock()
+				return
+			}
+			n.mu.Unlock()
 			t.mu.Lock()
 			if !t.closed {
 				t.queue = append(t.queue, Packet{Data: payload, Source: ds.addr})

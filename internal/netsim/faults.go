@@ -1,0 +1,259 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Fault plan: deterministic failure injection layered over the simulator.
+//
+// Three fault families compose freely with the chaos configuration:
+//
+//   - CrashHost kills a host mid-run: its listeners and datagram sockets
+//     close, its established streams reset on BOTH ends (the peer's next
+//     read or write fails with ErrReset, like a TCP RST after a crash), and
+//     datagrams addressed to it blackhole silently, exactly as UDP to a dead
+//     machine would.
+//   - Partition/Heal splits the network into non-communicating sides.
+//     Stream segments sent across the cut are parked and delivered when the
+//     partition heals — TCP retransmits until connectivity returns — while
+//     datagrams crossing the cut are dropped, as UDP offers no recovery.
+//     Connects across the cut time out (the SYN blackholes).
+//   - SetLinkLoss imposes an additional directional loss rate on one
+//     host-to-host link, drawn from the network's seeded chaos source so
+//     experiments stay reproducible.
+//
+// All fault decisions that involve randomness draw from the same seeded rng
+// as the chaos configuration: two runs with equal seeds and equal fault
+// plans make equal drop decisions.
+
+// linkKey identifies a directed host-to-host link.
+type linkKey struct{ from, to string }
+
+// pairKey normalizes an unordered host pair (partitions are symmetric).
+func pairKey(a, b string) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{from: a, to: b}
+}
+
+// heldSegment is one stream segment parked at a partition cut, waiting for
+// Heal to release it.
+type heldSegment struct {
+	s    *Stream
+	seq  uint64
+	data []byte
+	fin  bool
+}
+
+// FaultStats counts fault-plan activity on a network.
+type FaultStats struct {
+	// HostCrashes is the number of CrashHost calls that killed a live host.
+	HostCrashes int
+	// StreamResets is the number of stream connections reset by crashes.
+	StreamResets int
+	// PartitionedPairs is the number of host pairs currently cut.
+	PartitionedPairs int
+	// HeldSegments is the number of stream segments currently parked at a
+	// partition cut, awaiting Heal.
+	HeldSegments int
+	// DroppedByPartition counts datagrams dropped at a partition cut.
+	DroppedByPartition uint64
+	// DroppedByLinkLoss counts datagrams dropped by per-link loss rates.
+	DroppedByLinkLoss uint64
+}
+
+// CrashHost kills the named host: every listener and datagram socket on it
+// closes, every established stream with an endpoint on it is reset on both
+// ends (peer operations fail with ErrReset), and the host stops existing for
+// future traffic — datagrams to it vanish, connects to it are refused, and
+// new sockets cannot be created on it. Crashing an unknown or already
+// crashed host is a no-op. The crash is permanent for the run, mirroring the
+// fail-stop model the recovery layer is built for.
+func (n *Network) CrashHost(name string) {
+	n.mu.Lock()
+	if n.crashed[name] {
+		n.mu.Unlock()
+		return
+	}
+	n.crashed[name] = true
+	n.faults.HostCrashes++
+	h := n.hosts[name]
+	var listeners []*Listener
+	var dsocks []*DatagramSocket
+	if h != nil {
+		for _, l := range h.listeners {
+			listeners = append(listeners, l)
+		}
+		for _, d := range h.dsocks {
+			dsocks = append(dsocks, d)
+		}
+	}
+	var resets []*Stream
+	for s := range n.streams {
+		if s.local.Host == name {
+			resets = append(resets, s)
+		}
+	}
+	for _, s := range resets {
+		delete(n.streams, s)
+		delete(n.streams, s.peer)
+		n.faults.StreamResets++
+	}
+	n.mu.Unlock()
+
+	// Close and reset outside n.mu: Listener.Close and Stream teardown take
+	// the network lock themselves.
+	for _, l := range listeners {
+		l.Close()
+	}
+	for _, d := range dsocks {
+		d.Close()
+	}
+	for _, s := range resets {
+		s.resetPair()
+	}
+}
+
+// Crashed reports whether the named host has been crashed.
+func (n *Network) Crashed(name string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed[name]
+}
+
+// Partition cuts every link between a host on side a and a host on side b:
+// stream segments crossing the cut are parked until Heal, datagrams crossing
+// it are dropped, and connects across it time out. Hosts named on neither
+// side are unaffected. Partitions accumulate: a second call adds more cut
+// pairs.
+func (n *Network) Partition(a, b []string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				continue
+			}
+			n.blocked[pairKey(x, y)] = true
+		}
+	}
+	n.faults.PartitionedPairs = len(n.blocked)
+}
+
+// Heal removes every partition cut and redelivers the stream segments parked
+// at the cuts (each with a fresh chaos delivery delay, as a retransmission
+// would see). Datagrams dropped during the partition stay lost.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	held := n.heldSegs
+	n.heldSegs = nil
+	n.blocked = make(map[linkKey]bool)
+	n.faults.PartitionedPairs = 0
+	n.faults.HeldSegments = 0
+	n.mu.Unlock()
+
+	for _, hs := range held {
+		hs := hs
+		n.after(n.delay(n.chaos.DeliverDelayMin, n.chaos.DeliverDelayMax), func() {
+			n.deliverSegment(hs.s, hs.seq, hs.data, hs.fin)
+		})
+	}
+}
+
+// Partitioned reports whether traffic between the two hosts is currently cut.
+func (n *Network) Partitioned(a, b string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.blocked[pairKey(a, b)]
+}
+
+// SetLinkLoss imposes an additional loss probability on datagrams sent from
+// one host to another (directional; streams are unaffected — TCP recovers
+// from loss). Rate 0 clears the link's extra loss.
+func (n *Network) SetLinkLoss(from, to string, rate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	k := linkKey{from: from, to: to}
+	if rate <= 0 {
+		delete(n.linkLoss, k)
+		return
+	}
+	n.linkLoss[k] = rate
+}
+
+// FaultStats reports the network's fault-plan counters.
+func (n *Network) FaultStats() FaultStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.faults
+}
+
+// blockedLocked reports whether the a↔b link is cut. Caller holds n.mu.
+func (n *Network) blockedLocked(a, b string) bool {
+	if len(n.blocked) == 0 {
+		return false
+	}
+	return n.blocked[pairKey(a, b)]
+}
+
+// linkLossRate reports the extra loss probability on the from→to link.
+func (n *Network) linkLossRate(from, to string) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.linkLoss) == 0 {
+		return 0
+	}
+	return n.linkLoss[linkKey{from: from, to: to}]
+}
+
+// checkHostUp rejects socket creation on a crashed host. Caller holds n.mu.
+func (n *Network) checkHostUpLocked(name string) error {
+	if n.crashed[name] {
+		return fmt.Errorf("%w: host %s crashed", ErrNoHost, name)
+	}
+	return nil
+}
+
+// registerStreamsLocked adds both endpoints of an established connection to
+// the crash registry. Caller holds n.mu.
+func (n *Network) registerStreamsLocked(a, b *Stream) {
+	n.streams[a] = true
+	n.streams[b] = true
+}
+
+// deliverSegment admits one stream segment to the peer unless the link is
+// currently partitioned, in which case the segment parks until Heal (TCP
+// retransmits across an outage; no data is lost, only delayed).
+func (n *Network) deliverSegment(s *Stream, seq uint64, data []byte, fin bool) {
+	n.mu.Lock()
+	if n.blockedLocked(s.local.Host, s.remote.Host) {
+		n.heldSegs = append(n.heldSegs, heldSegment{s: s, seq: seq, data: data, fin: fin})
+		n.faults.HeldSegments = len(n.heldSegs)
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	s.peer.admit(seq, data, fin)
+}
+
+// resetPair marks both endpoints of a connection reset: pending and future
+// reads and writes on either end fail with ErrReset, and waiters wake. The
+// receive buffers are discarded, as a TCP RST discards undelivered data.
+func (s *Stream) resetPair() {
+	for _, e := range [2]*Stream{s, s.peer} {
+		e.in.mu.Lock()
+		e.in.reset = true
+		e.in.buf = nil
+		e.in.cond.Broadcast()
+		e.in.mu.Unlock()
+		e.out.mu.Lock()
+		e.out.reset = true
+		e.out.mu.Unlock()
+	}
+}
+
+// connectTimeout is how long a connect across a partition cut waits before
+// failing with ErrTimeout — the simulator's stand-in for a SYN retry budget.
+const connectTimeout = 50 * time.Millisecond

@@ -1,0 +1,283 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// establish builds a connected client/server stream pair between two hosts.
+func establish(t *testing.T, n *Network, clientHost, serverHost string) (client, server *Stream) {
+	t.Helper()
+	l, err := n.Listen(serverHost, 7000)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		s, err := l.Accept()
+		server = s
+		done <- err
+	}()
+	client, err = n.Connect(clientHost, l.Addr())
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	return client, server
+}
+
+func TestCrashHostResetsStreams(t *testing.T) {
+	n := NewNetwork(Config{})
+	client, server := establish(t, n, "alice", "bob")
+
+	// Traffic flows before the crash.
+	if _, err := client.Write([]byte("hello")); err != nil {
+		t.Fatalf("pre-crash write: %v", err)
+	}
+	n.Quiesce()
+
+	n.CrashHost("bob")
+
+	// The surviving peer's reads and writes fail with ErrReset — even with
+	// data still buffered, as a TCP RST discards undelivered bytes.
+	if _, err := client.Read(make([]byte, 8)); !errors.Is(err, ErrReset) {
+		t.Fatalf("peer read after crash = %v, want ErrReset", err)
+	}
+	if _, err := client.Write([]byte("x")); !errors.Is(err, ErrReset) {
+		t.Fatalf("peer write after crash = %v, want ErrReset", err)
+	}
+	// The crashed side is reset too (its process is gone; any straggler
+	// operation must not hang).
+	if _, err := server.Read(make([]byte, 8)); !errors.Is(err, ErrReset) {
+		t.Fatalf("crashed-side read = %v, want ErrReset", err)
+	}
+
+	st := n.FaultStats()
+	if st.HostCrashes != 1 || st.StreamResets != 1 {
+		t.Fatalf("FaultStats = %+v, want 1 crash / 1 reset", st)
+	}
+}
+
+func TestCrashHostUnblocksPendingRead(t *testing.T) {
+	n := NewNetwork(Config{})
+	client, _ := establish(t, n, "alice", "bob")
+
+	got := make(chan error, 1)
+	go func() {
+		_, err := client.Read(make([]byte, 8))
+		got <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the read park
+	n.CrashHost("bob")
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrReset) {
+			t.Fatalf("blocked read woke with %v, want ErrReset", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked read not woken by crash")
+	}
+}
+
+func TestCrashHostBlackholesDatagramsAndClosesSockets(t *testing.T) {
+	n := NewNetwork(Config{})
+	rx, err := n.DatagramBind("bob", 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := n.DatagramBind("alice", 5001)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n.CrashHost("bob")
+
+	// Sends to the crashed host succeed and vanish, as with real UDP.
+	if err := tx.SendTo(Addr{Host: "bob", Port: 5000}, []byte("gone")); err != nil {
+		t.Fatalf("send to crashed host = %v, want silent blackhole", err)
+	}
+	n.Quiesce()
+	if _, ok, _ := tx.TryReceive(); ok {
+		t.Fatal("unexpected datagram at sender")
+	}
+	// The crashed host's own socket is closed.
+	if _, err := rx.Receive(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("crashed host receive = %v, want ErrClosed", err)
+	}
+	// New sockets cannot be created on a crashed host.
+	if _, err := n.DatagramBind("bob", 5002); !errors.Is(err, ErrNoHost) {
+		t.Fatalf("bind on crashed host = %v, want ErrNoHost", err)
+	}
+	if _, err := n.Listen("bob", 5003); !errors.Is(err, ErrNoHost) {
+		t.Fatalf("listen on crashed host = %v, want ErrNoHost", err)
+	}
+	// Connects to the crashed host are refused (its listeners are gone).
+	if _, err := n.Connect("alice", Addr{Host: "bob", Port: 7000}); !errors.Is(err, ErrRefused) {
+		t.Fatalf("connect to crashed host = %v, want ErrRefused", err)
+	}
+}
+
+// TestPartitionHealSymmetric is the satellite test: a partition isolates
+// datagram and stream traffic in both directions, and Heal restores both —
+// stream bytes parked at the cut arrive after healing (TCP retransmits),
+// datagrams sent during the cut stay lost (UDP does not).
+func TestPartitionHealSymmetric(t *testing.T) {
+	n := NewNetwork(Config{})
+	aliceSock, err := n.DatagramBind("alice", 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bobSock, err := n.DatagramBind("bob", 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := establish(t, n, "alice", "bob")
+
+	n.Partition([]string{"alice"}, []string{"bob"})
+	if !n.Partitioned("alice", "bob") || !n.Partitioned("bob", "alice") {
+		t.Fatal("Partitioned not symmetric")
+	}
+
+	// Datagrams across the cut, both directions: dropped.
+	if err := aliceSock.SendTo(bobSock.Addr(), []byte("a->b")); err != nil {
+		t.Fatalf("send during partition: %v", err)
+	}
+	if err := bobSock.SendTo(aliceSock.Addr(), []byte("b->a")); err != nil {
+		t.Fatalf("send during partition: %v", err)
+	}
+	// Stream bytes across the cut, both directions: parked, not delivered.
+	if _, err := client.Write([]byte("c2s")); err != nil {
+		t.Fatalf("stream write during partition: %v", err)
+	}
+	if _, err := server.Write([]byte("s2c")); err != nil {
+		t.Fatalf("stream write during partition: %v", err)
+	}
+	n.Quiesce()
+	if bobSock.Pending() != 0 || aliceSock.Pending() != 0 {
+		t.Fatal("datagram crossed a partition cut")
+	}
+	if client.Available() != 0 || server.Available() != 0 {
+		t.Fatal("stream bytes crossed a partition cut")
+	}
+	st := n.FaultStats()
+	if st.DroppedByPartition != 2 {
+		t.Fatalf("DroppedByPartition = %d, want 2", st.DroppedByPartition)
+	}
+	if st.HeldSegments == 0 {
+		t.Fatal("no stream segments parked at the cut")
+	}
+
+	n.Heal()
+	n.Quiesce()
+
+	// Parked stream bytes arrive after healing, both directions.
+	buf := make([]byte, 8)
+	if nr, err := server.Read(buf); err != nil || string(buf[:nr]) != "c2s" {
+		t.Fatalf("post-heal server read = %q, %v", buf[:nr], err)
+	}
+	if nr, err := client.Read(buf); err != nil || string(buf[:nr]) != "s2c" {
+		t.Fatalf("post-heal client read = %q, %v", buf[:nr], err)
+	}
+	// The in-partition datagrams stay lost, but new traffic flows again,
+	// both directions.
+	if bobSock.Pending() != 0 || aliceSock.Pending() != 0 {
+		t.Fatal("lost datagram resurrected by Heal")
+	}
+	if err := aliceSock.SendTo(bobSock.Addr(), []byte("again-ab")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bobSock.SendTo(aliceSock.Addr(), []byte("again-ba")); err != nil {
+		t.Fatal(err)
+	}
+	n.Quiesce()
+	if p, err := bobSock.Receive(); err != nil || string(p.Data) != "again-ab" {
+		t.Fatalf("post-heal a->b datagram = %q, %v", p.Data, err)
+	}
+	if p, err := aliceSock.Receive(); err != nil || string(p.Data) != "again-ba" {
+		t.Fatalf("post-heal b->a datagram = %q, %v", p.Data, err)
+	}
+}
+
+func TestPartitionBlocksConnectWithTimeout(t *testing.T) {
+	n := NewNetwork(Config{})
+	if _, err := n.Listen("bob", 7000); err != nil {
+		t.Fatal(err)
+	}
+	n.Partition([]string{"alice"}, []string{"bob"})
+	if _, err := n.Connect("alice", Addr{Host: "bob", Port: 7000}); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("connect across partition = %v, want ErrTimeout", err)
+	}
+	n.Heal()
+	done := make(chan error, 1)
+	go func() {
+		c, err := n.Connect("alice", Addr{Host: "bob", Port: 7000})
+		if c != nil {
+			c.Close()
+		}
+		done <- err
+	}()
+	if err := <-done; err != nil {
+		t.Fatalf("connect after heal = %v", err)
+	}
+}
+
+func TestSetLinkLossIsDirectionalAndSeeded(t *testing.T) {
+	const sends = 400
+	run := func(seed int64) (uint64, int) {
+		n := NewNetwork(Config{Seed: seed})
+		rx, err := n.DatagramBind("bob", 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx, err := n.DatagramBind("alice", 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.SetLinkLoss("alice", "bob", 0.5)
+		for i := 0; i < sends; i++ {
+			if err := tx.SendTo(rx.Addr(), []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+			// Reverse direction is unaffected by the directional rate.
+			if err := rx.SendTo(tx.Addr(), []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n.Quiesce()
+		if got := tx.Pending(); got != sends {
+			t.Fatalf("reverse direction lost datagrams: %d/%d", got, sends)
+		}
+		return n.FaultStats().DroppedByLinkLoss, rx.Pending()
+	}
+
+	dropped1, arrived := run(11)
+	if dropped1 == 0 || arrived == sends || int(dropped1)+arrived != sends {
+		t.Fatalf("link loss not applied: dropped %d, arrived %d", dropped1, arrived)
+	}
+	dropped2, _ := run(11)
+	if dropped1 != dropped2 {
+		t.Fatalf("same seed, different drop decisions: %d vs %d", dropped1, dropped2)
+	}
+	if err := func() error {
+		n := NewNetwork(Config{Seed: 11})
+		n.SetLinkLoss("alice", "bob", 0.5)
+		n.SetLinkLoss("alice", "bob", 0)
+		rx, _ := n.DatagramBind("bob", 4000)
+		tx, _ := n.DatagramBind("alice", 4000)
+		for i := 0; i < 50; i++ {
+			if err := tx.SendTo(rx.Addr(), []byte{1}); err != nil {
+				return err
+			}
+		}
+		n.Quiesce()
+		if rx.Pending() != 50 {
+			t.Fatalf("cleared link loss still dropping: %d/50", rx.Pending())
+		}
+		return nil
+	}(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -40,6 +40,10 @@ var (
 	// ErrTimeout is returned by the *Timeout operation variants when the
 	// deadline passes first — java.net.SocketTimeoutException.
 	ErrTimeout = errors.New("netsim: timed out")
+	// ErrReset is returned by operations on a stream whose connection was
+	// reset because a fault plan crashed one of its endpoints —
+	// java.net.SocketException("Connection reset").
+	ErrReset = errors.New("netsim: connection reset")
 )
 
 // Addr is a network endpoint: a symbolic host name plus a port.
@@ -102,6 +106,16 @@ type Network struct {
 	hosts       map[string]*host
 	groups      map[string]map[*DatagramSocket]bool
 
+	// Fault-plan state (see faults.go): crashed hosts, partition cuts,
+	// per-link loss rates, stream segments parked at a cut, the registry of
+	// established streams a crash must reset, and activity counters.
+	crashed  map[string]bool
+	blocked  map[linkKey]bool
+	linkLoss map[linkKey]float64
+	heldSegs []heldSegment
+	streams  map[*Stream]bool
+	faults   FaultStats
+
 	wg sync.WaitGroup // tracks in-flight deliveries for Quiesce
 }
 
@@ -125,6 +139,10 @@ func NewNetwork(cfg Config) *Network {
 		maxDatagram: maxDG,
 		hosts:       make(map[string]*host),
 		groups:      make(map[string]map[*DatagramSocket]bool),
+		crashed:     make(map[string]bool),
+		blocked:     make(map[linkKey]bool),
+		linkLoss:    make(map[linkKey]float64),
+		streams:     make(map[*Stream]bool),
 	}
 }
 

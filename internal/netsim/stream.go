@@ -28,6 +28,9 @@ type Listener struct {
 func (n *Network) Listen(hostName string, port uint16) (*Listener, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if err := n.checkHostUpLocked(hostName); err != nil {
+		return nil, err
+	}
 	h := n.hostLocked(hostName)
 	p, err := n.allocPortLocked(h, port)
 	if err != nil {
@@ -138,6 +141,7 @@ type Stream struct {
 		next    uint64            // next sequence number to admit into buf
 		eof     bool              // fin admitted: buf drains to EOF
 		closed  bool              // local close: reads fail immediately
+		reset   bool              // connection reset by a crash: reads fail with ErrReset
 	}
 
 	// out guards the send side.
@@ -145,6 +149,7 @@ type Stream struct {
 		mu     sync.Mutex
 		seq    uint64
 		closed bool
+		reset  bool // connection reset by a crash: writes fail with ErrReset
 	}
 
 	peer *Stream
@@ -168,6 +173,10 @@ func newStreamPair(n *Network, clientAddr, serverAddr Addr) (client, server *Str
 // established by the server side (enters the listener backlog) or refused.
 func (n *Network) Connect(hostName string, addr Addr) (*Stream, error) {
 	n.mu.Lock()
+	if err := n.checkHostUpLocked(hostName); err != nil {
+		n.mu.Unlock()
+		return nil, err
+	}
 	clientHost := n.hostLocked(hostName)
 	clientPort, err := n.allocPortLocked(clientHost, 0)
 	if err != nil {
@@ -183,6 +192,15 @@ func (n *Network) Connect(hostName string, addr Addr) (*Stream, error) {
 
 	n.after(n.delay(n.chaos.ConnectDelayMin, n.chaos.ConnectDelayMax), func() {
 		n.mu.Lock()
+		// A SYN across a partition cut blackholes: the caller sees a
+		// timeout rather than a refusal, matching real TCP's behavior when
+		// the target is unreachable rather than down.
+		if n.blockedLocked(hostName, addr.Host) {
+			n.mu.Unlock()
+			time.Sleep(connectTimeout)
+			done <- fmt.Errorf("connect %v: %w", addr, ErrTimeout)
+			return
+		}
 		h := n.hosts[addr.Host]
 		var l *Listener
 		if h != nil {
@@ -203,6 +221,9 @@ func (n *Network) Connect(hostName string, addr Addr) (*Stream, error) {
 		l.backlog = append(l.backlog, s)
 		l.cond.Broadcast()
 		l.mu.Unlock()
+		n.mu.Lock()
+		n.registerStreamsLocked(c, s)
+		n.mu.Unlock()
 		client = c
 		done <- nil
 	})
@@ -231,6 +252,10 @@ func (s *Stream) RemoteAddr() Addr { return s.remote }
 // the peer's receive buffer strictly in sequence order.
 func (s *Stream) Write(p []byte) (int, error) {
 	s.out.mu.Lock()
+	if s.out.reset {
+		s.out.mu.Unlock()
+		return 0, fmt.Errorf("write %v: %w", s.local, ErrReset)
+	}
 	if s.out.closed {
 		s.out.mu.Unlock()
 		return 0, fmt.Errorf("write %v: %w", s.local, ErrClosed)
@@ -266,7 +291,7 @@ func (s *Stream) Write(p []byte) (int, error) {
 	for _, sg := range segs {
 		sg := sg
 		s.net.after(s.net.delay(s.net.chaos.DeliverDelayMin, s.net.chaos.DeliverDelayMax), func() {
-			s.peer.admit(sg.seq, sg.data, false)
+			s.net.deliverSegment(s, sg.seq, sg.data, false)
 		})
 	}
 	return len(p), nil
@@ -310,8 +335,11 @@ func (s *Stream) Read(p []byte) (int, error) {
 	in := &s.in
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	for len(in.buf) == 0 && !in.eof && !in.closed {
+	for len(in.buf) == 0 && !in.eof && !in.closed && !in.reset {
 		in.cond.Wait()
+	}
+	if in.reset {
+		return 0, fmt.Errorf("read %v: %w", s.local, ErrReset)
 	}
 	if in.closed {
 		return 0, fmt.Errorf("read %v: %w", s.local, ErrClosed)
@@ -346,8 +374,11 @@ func (s *Stream) ReadTimeout(p []byte, d time.Duration) (int, error) {
 
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	for len(in.buf) == 0 && !in.eof && !in.closed && time.Now().Before(deadline) {
+	for len(in.buf) == 0 && !in.eof && !in.closed && !in.reset && time.Now().Before(deadline) {
 		in.cond.Wait()
+	}
+	if in.reset {
+		return 0, fmt.Errorf("read %v: %w", s.local, ErrReset)
 	}
 	if in.closed {
 		return 0, fmt.Errorf("read %v: %w", s.local, ErrClosed)
@@ -371,7 +402,7 @@ func (s *Stream) WaitAvailable(n int) int {
 	in := &s.in
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	for len(in.buf) < n && !in.eof && !in.closed {
+	for len(in.buf) < n && !in.eof && !in.closed && !in.reset {
 		in.cond.Wait()
 	}
 	return len(in.buf)
@@ -392,7 +423,7 @@ func (s *Stream) ShutdownWrite() error {
 	s.out.mu.Unlock()
 
 	s.net.after(s.net.delay(s.net.chaos.DeliverDelayMin, s.net.chaos.DeliverDelayMax), func() {
-		s.peer.admit(finSeq, nil, true)
+		s.net.deliverSegment(s, finSeq, nil, true)
 	})
 	return nil
 }
@@ -412,6 +443,7 @@ func (s *Stream) Close() error {
 	}
 
 	s.net.mu.Lock()
+	delete(s.net.streams, s)
 	if h := s.net.hosts[s.local.Host]; h != nil {
 		if h.streams[s.local.Port]--; h.streams[s.local.Port] <= 0 {
 			delete(h.streams, s.local.Port)

@@ -33,6 +33,16 @@ type Metrics struct {
 	parked   atomic.Int64  // threads currently waiting for a replay turn
 	watchdog atomic.Uint32 // bit 0: armed, bit 1: stalled
 
+	// Fault-tolerance counters: WAL fsyncs performed for this VM's logs,
+	// connect attempts retried under a djsock ConnectRetry policy, rudp
+	// destinations declared unreachable after exhausting their retry budget,
+	// and replay threads that stopped at the end of a truncated (crash-
+	// recovered) schedule.
+	walSyncs        atomic.Uint64
+	connectRetries  atomic.Uint64
+	peerUnreachable atomic.Uint64
+	logEndStops     atomic.Uint64
+
 	// histSampleRate is the 1-in-N latency sampling rate the VM applies to
 	// the two histograms below (see core.Config.ObsSampleRate). Event counts
 	// stay exact; only latency observation is sampled.
@@ -98,6 +108,20 @@ func (m *Metrics) LogAppend(file LogFile, bytes int) {
 	m.logAppends[file].Add(1)
 	m.logBytes[file].Add(uint64(bytes))
 }
+
+// IncWALSync counts one completed write-ahead-log fsync.
+func (m *Metrics) IncWALSync() { m.walSyncs.Add(1) }
+
+// IncConnectRetry counts one retried connect attempt.
+func (m *Metrics) IncConnectRetry() { m.connectRetries.Add(1) }
+
+// IncPeerUnreachable counts one rudp destination abandoned after its retry
+// budget was exhausted.
+func (m *Metrics) IncPeerUnreachable() { m.peerUnreachable.Add(1) }
+
+// IncLogEndStop counts one replay thread stopping at the end of a truncated
+// recovered schedule.
+func (m *Metrics) IncLogEndStop() { m.logEndStops.Add(1) }
 
 // SetClock moves the clock gauge (used at VM construction and resume).
 func (m *Metrics) SetClock(gc uint64) { m.clock.Store(gc) }

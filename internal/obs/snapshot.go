@@ -81,6 +81,20 @@ func (r ReplayProgress) Percent() float64 {
 	return 100 * float64(r.CurrentGC) / float64(r.FinalGC)
 }
 
+// FaultCounts groups the fault-tolerance counters: durable-logging activity
+// and the retry/recovery outcomes of the bounded-retry socket stack.
+type FaultCounts struct {
+	// WALSyncs is the number of write-ahead-log fsyncs performed.
+	WALSyncs uint64 `json:"wal_syncs"`
+	// ConnectRetries is connect attempts retried under a ConnectRetry policy.
+	ConnectRetries uint64 `json:"connect_retries"`
+	// PeerUnreachable is rudp destinations abandoned after MaxRetries.
+	PeerUnreachable uint64 `json:"peer_unreachable"`
+	// LogEndStops is replay threads that stopped at the end of a truncated
+	// crash-recovered schedule (the replayed crash point).
+	LogEndStops uint64 `json:"log_end_stops"`
+}
+
 // Snapshot is a consistent point-in-time view of one VM's metrics. Totals are
 // derived from the same atomic loads as the per-kind fields, so a snapshot is
 // internally consistent (TotalEvents always equals Events.Total()) even when
@@ -101,6 +115,8 @@ type Snapshot struct {
 	Logs LogStats `json:"logs"`
 	// Replay is the live replay-progress gauge set.
 	Replay ReplayProgress `json:"replay"`
+	// Faults is the fault-tolerance counter set (WAL, retries, recovery).
+	Faults FaultCounts `json:"faults"`
 	// HistSampleRate is the 1-in-N latency sampling rate behind TurnWait and
 	// GCHold: only events whose counter value is a multiple of N contributed
 	// a latency observation (counts elsewhere in the snapshot stay exact).
@@ -145,6 +161,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		ParkedThreads: m.parked.Load(),
 		WatchdogArmed: wd&watchdogArmedBit != 0,
 		Stalled:       wd&watchdogStalledBit != 0,
+	}
+	s.Faults = FaultCounts{
+		WALSyncs:        m.walSyncs.Load(),
+		ConnectRetries:  m.connectRetries.Load(),
+		PeerUnreachable: m.peerUnreachable.Load(),
+		LogEndStops:     m.logEndStops.Load(),
 	}
 	s.HistSampleRate = m.histSampleRate.Load()
 	s.TurnWait = m.TurnWait.Snapshot()

@@ -5,17 +5,23 @@
 // acknowledgment messages between the DJVMs" (§4.2.3, footnote 3).
 //
 // A Conn wraps a netsim.DatagramSocket. Outgoing datagrams carry a sequence
-// number and are retransmitted until acknowledged; incoming datagrams are
-// acknowledged and de-duplicated, then handed to the application. Delivery is
-// reliable but possibly out of order — exactly the guarantee the paper's
-// replay mechanism requires, which then re-establishes the recorded order
-// itself from the RecordedDatagramLog.
+// number and are retransmitted — with exponential backoff, up to a bounded
+// retry budget — until acknowledged; incoming datagrams are acknowledged and
+// de-duplicated, then handed to the application. Delivery is reliable but
+// possibly out of order — exactly the guarantee the paper's replay mechanism
+// requires, which then re-establishes the recorded order itself from the
+// RecordedDatagramLog. A destination that exhausts the retry budget (because
+// its DJVM crashed or a partition cut it off) is declared unreachable:
+// its datagrams are abandoned and further sends to it fail fast with
+// ErrPeerUnreachable, so replay against a dead peer terminates instead of
+// retransmitting forever.
 package rudp
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -24,6 +30,12 @@ import (
 
 // ErrClosed is returned by operations on a closed connection.
 var ErrClosed = errors.New("rudp: connection closed")
+
+// ErrPeerUnreachable is returned when a datagram exhausts its retry budget
+// without being acknowledged — the destination has crashed, is partitioned
+// away, or is dropping everything. Once a destination is declared unreachable,
+// further sends to it fail fast with the same error.
+var ErrPeerUnreachable = errors.New("rudp: peer unreachable")
 
 // Header layout: 1 kind byte, 8-byte big-endian sequence number.
 const (
@@ -42,12 +54,40 @@ type Config struct {
 	// TickInterval is how often the retransmitter scans for overdue
 	// datagrams. Zero means RetransmitInterval/2.
 	TickInterval time.Duration
+	// MaxRetries bounds how many retransmissions one datagram may consume
+	// before its destination is declared unreachable and the datagram is
+	// abandoned (the paper's pseudo-reliable UDP must not retry forever once
+	// the peer DJVM has crashed). Zero means DefaultMaxRetries; a negative
+	// value retries without bound.
+	MaxRetries int
+	// BackoffFactor multiplies the retransmit interval after each failed
+	// attempt, so a dead peer costs exponentially less traffic than a slow
+	// one. Values <= 1 mean 2.
+	BackoffFactor float64
+	// MaxRetransmitInterval caps the backed-off interval. Zero means 64x
+	// RetransmitInterval.
+	MaxRetransmitInterval time.Duration
+	// JitterSeed seeds the per-connection jitter source that desynchronizes
+	// retransmission bursts from concurrent senders. Zero derives a seed from
+	// the clock.
+	JitterSeed int64
+	// OnUnreachable, when set, is called once for each datagram abandoned
+	// after MaxRetries, outside the connection's lock.
+	OnUnreachable func(dest netsim.Addr)
 }
 
+// DefaultMaxRetries is the retry budget used when Config.MaxRetries is zero.
+// With the default 2x backoff it spans roughly 8000x the base retransmit
+// interval before giving up — generous against jitter, finite against a
+// crashed peer.
+const DefaultMaxRetries = 12
+
 type outstanding struct {
-	dest    netsim.Addr
-	frame   []byte
-	lastTry time.Time
+	dest     netsim.Addr
+	frame    []byte
+	tries    int
+	interval time.Duration
+	nextTry  time.Time
 }
 
 type dedupKey struct {
@@ -62,10 +102,12 @@ type Conn struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
+	rng      *rand.Rand // jitter source; guarded by mu
 	nextSeq  uint64
 	unacked  map[uint64]*outstanding
 	seen     map[dedupKey]bool
 	deliverq []netsim.Packet
+	failed   map[netsim.Addr]bool // destinations declared unreachable
 	closed   bool
 	recvErr  error
 
@@ -84,6 +126,7 @@ type Stats struct {
 	AcksSent      uint64
 	DupsDiscarded uint64
 	Delivered     uint64
+	Abandoned     uint64 // datagrams given up after MaxRetries
 }
 
 // New wraps sock in a reliable connection and starts its receive and
@@ -96,11 +139,26 @@ func New(sock *netsim.DatagramSocket, cfg Config) *Conn {
 	if cfg.TickInterval <= 0 {
 		cfg.TickInterval = cfg.RetransmitInterval / 2
 	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	if cfg.BackoffFactor <= 1 {
+		cfg.BackoffFactor = 2
+	}
+	if cfg.MaxRetransmitInterval <= 0 {
+		cfg.MaxRetransmitInterval = 64 * cfg.RetransmitInterval
+	}
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
 	c := &Conn{
 		sock:       sock,
 		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(seed)),
 		unacked:    make(map[uint64]*outstanding),
 		seen:       make(map[dedupKey]bool),
+		failed:     make(map[netsim.Addr]bool),
 		stopTicker: make(chan struct{}),
 	}
 	c.cond = sync.NewCond(&c.mu)
@@ -145,10 +203,21 @@ func (c *Conn) sendOne(dest netsim.Addr, data []byte) error {
 		c.mu.Unlock()
 		return ErrClosed
 	}
+	if c.failed[dest] {
+		// The destination already exhausted a retry budget: fail fast rather
+		// than queueing more datagrams destined to be abandoned.
+		c.mu.Unlock()
+		return fmt.Errorf("rudp: send %v: %w", dest, ErrPeerUnreachable)
+	}
 	seq := c.nextSeq
 	c.nextSeq++
 	f := frame(kindData, seq, data)
-	c.unacked[seq] = &outstanding{dest: dest, frame: f, lastTry: time.Now()}
+	c.unacked[seq] = &outstanding{
+		dest:     dest,
+		frame:    f,
+		interval: c.cfg.RetransmitInterval,
+		nextTry:  time.Now().Add(c.cfg.RetransmitInterval),
+	}
 	c.stats.DataSent++
 	c.mu.Unlock()
 
@@ -192,19 +261,30 @@ func (c *Conn) Stats() Stats {
 	return c.stats
 }
 
-// Flush blocks until every sent datagram has been acknowledged or the
-// connection closes.
-func (c *Conn) Flush() {
-	for {
-		c.mu.Lock()
-		empty := len(c.unacked) == 0
-		closed := c.closed
-		c.mu.Unlock()
-		if empty || closed {
-			return
-		}
-		time.Sleep(c.cfg.TickInterval)
+// Flush blocks until every sent datagram has been acknowledged, abandoned, or
+// the connection closes. It returns ErrPeerUnreachable (wrapped) if any
+// datagram was abandoned after exhausting its retry budget — the bounded
+// replacement for a retransmit loop that would otherwise spin forever against
+// a crashed peer.
+func (c *Conn) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.unacked) > 0 && !c.closed {
+		c.cond.Wait()
 	}
+	if c.stats.Abandoned > 0 {
+		return fmt.Errorf("rudp: %d datagram(s) abandoned after %d retries: %w",
+			c.stats.Abandoned, c.cfg.MaxRetries, ErrPeerUnreachable)
+	}
+	return nil
+}
+
+// Unreachable reports whether dest has been declared unreachable on this
+// connection.
+func (c *Conn) Unreachable(dest netsim.Addr) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failed[dest]
 }
 
 func (c *Conn) receiveLoop() {
@@ -229,6 +309,9 @@ func (c *Conn) receiveLoop() {
 		case kindAck:
 			c.mu.Lock()
 			delete(c.unacked, seq)
+			if len(c.unacked) == 0 {
+				c.cond.Broadcast() // wake Flush
+			}
 			c.mu.Unlock()
 		case kindData:
 			// Acknowledge every copy, duplicates included: the original ACK
@@ -266,17 +349,43 @@ func (c *Conn) retransmitLoop() {
 		}
 		now := time.Now()
 		c.mu.Lock()
-		var resend []*outstanding
-		for _, o := range c.unacked {
-			if now.Sub(o.lastTry) >= c.cfg.RetransmitInterval {
-				o.lastTry = now
-				resend = append(resend, o)
-				c.stats.Retransmits++
+		var resend, dead []*outstanding
+		for seq, o := range c.unacked {
+			if now.Before(o.nextTry) {
+				continue
 			}
+			if c.cfg.MaxRetries >= 0 && o.tries >= c.cfg.MaxRetries {
+				// Retry budget exhausted: abandon the datagram and declare
+				// the destination unreachable so future sends fail fast.
+				delete(c.unacked, seq)
+				c.failed[o.dest] = true
+				c.stats.Abandoned++
+				dead = append(dead, o)
+				continue
+			}
+			o.tries++
+			// Exponential backoff with jitter: a dead peer costs O(log) traffic
+			// in the budget window, and concurrent senders decorrelate.
+			o.interval = time.Duration(float64(o.interval) * c.cfg.BackoffFactor)
+			if o.interval > c.cfg.MaxRetransmitInterval {
+				o.interval = c.cfg.MaxRetransmitInterval
+			}
+			jitter := time.Duration(c.rng.Int63n(int64(o.interval)/4 + 1))
+			o.nextTry = now.Add(o.interval + jitter)
+			resend = append(resend, o)
+			c.stats.Retransmits++
+		}
+		if len(dead) > 0 {
+			c.cond.Broadcast() // wake Flush: abandoned datagrams left unacked
 		}
 		c.mu.Unlock()
 		for _, o := range resend {
 			_ = c.sock.SendTo(o.dest, o.frame)
+		}
+		if c.cfg.OnUnreachable != nil {
+			for _, o := range dead {
+				c.cfg.OnUnreachable(o.dest)
+			}
 		}
 	}
 }

@@ -3,6 +3,7 @@ package rudp
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -66,7 +67,9 @@ func TestReliableDeliveryUnderHeavyLoss(t *testing.T) {
 	if st.Retransmits == 0 {
 		t.Error("no retransmissions under 30% loss — reliability untested")
 	}
-	tx.Flush()
+	if err := tx.Flush(); err != nil {
+		t.Errorf("Flush under 30%% loss = %v, want nil (datagrams abandoned?)", err)
+	}
 	if out := tx.Outstanding(); out != 0 {
 		t.Errorf("%d datagrams still unacknowledged after Flush", out)
 	}
@@ -195,6 +198,96 @@ func TestNonRudpFramesIgnored(t *testing.T) {
 		t.Fatal("junk frame delivered as application datagram")
 	case <-time.After(20 * time.Millisecond):
 		// Correct: junk dropped, Receive still blocked.
+	}
+}
+
+// TestSendToCrashedHostUnreachable is the regression test for the unbounded
+// retransmission bug: before the retry budget existed, a send to a crashed
+// host retransmitted every 2ms forever and Flush never returned. Now the
+// sender must give up within its budget and report ErrPeerUnreachable.
+func TestSendToCrashedHostUnreachable(t *testing.T) {
+	net := netsim.NewNetwork(netsim.Config{})
+	rxSock, err := net.DatagramBind("rx", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rxSock
+	txSock, err := net.DatagramBind("tx", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unreachable []netsim.Addr
+	var mu sync.Mutex
+	tx := New(txSock, Config{
+		RetransmitInterval: 200 * time.Microsecond,
+		MaxRetries:         5,
+		OnUnreachable: func(dest netsim.Addr) {
+			mu.Lock()
+			unreachable = append(unreachable, dest)
+			mu.Unlock()
+		},
+	})
+	defer tx.Close()
+
+	net.CrashHost("rx")
+	dest := netsim.Addr{Host: "rx", Port: 100}
+	if err := tx.SendTo(net, dest, []byte("into the void")); err != nil {
+		t.Fatalf("first send: %v (blackhole expected, not an error)", err)
+	}
+
+	// The budget: 5 retries with 2x backoff from 200us is ~12ms plus jitter.
+	// Anything near the old infinite loop trips this deadline.
+	flushed := make(chan error, 1)
+	go func() { flushed <- tx.Flush() }()
+	select {
+	case err := <-flushed:
+		if !errors.Is(err, ErrPeerUnreachable) {
+			t.Fatalf("Flush after crash = %v, want ErrPeerUnreachable", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Flush did not return within budget — unbounded retransmission")
+	}
+
+	if !tx.Unreachable(dest) {
+		t.Error("destination not marked unreachable")
+	}
+	// Subsequent sends to the dead destination fail fast.
+	if err := tx.SendTo(net, dest, []byte("again")); !errors.Is(err, ErrPeerUnreachable) {
+		t.Fatalf("send to unreachable dest = %v, want fast ErrPeerUnreachable", err)
+	}
+	// Other destinations are unaffected.
+	if tx.Unreachable(netsim.Addr{Host: "tx", Port: 200}) {
+		t.Error("unrelated destination marked unreachable")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(unreachable) != 1 || unreachable[0] != dest {
+		t.Errorf("OnUnreachable calls = %v, want exactly [%v]", unreachable, dest)
+	}
+	if st := tx.Stats(); st.Abandoned != 1 || st.Retransmits != 5 {
+		t.Errorf("Stats = %+v, want Abandoned 1, Retransmits 5", tx.Stats())
+	}
+}
+
+func TestUnlimitedRetriesStillSupported(t *testing.T) {
+	// MaxRetries < 0 restores the old retry-forever contract for workloads
+	// that prefer it (the paper's replay against a live-but-slow peer).
+	net := netsim.NewNetwork(netsim.Config{Chaos: netsim.Chaos{LossRate: 0.9}, Seed: 41})
+	rxSock, _ := net.DatagramBind("rx", 100)
+	txSock, _ := net.DatagramBind("tx", 200)
+	cfg := Config{RetransmitInterval: 100 * time.Microsecond, MaxRetries: -1,
+		MaxRetransmitInterval: 200 * time.Microsecond}
+	rx, tx := New(rxSock, cfg), New(txSock, cfg)
+	defer rx.Close()
+	defer tx.Close()
+	if err := tx.SendTo(net, rxSock.Addr(), []byte("persist")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rx.Receive(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Flush(); err != nil {
+		t.Fatalf("Flush = %v, want nil under unlimited retries", err)
 	}
 }
 

@@ -77,6 +77,14 @@ const (
 	// the outcome was a timeout or a notification.
 	KindTimedWait
 
+	// KindOpenInterval is a WAL-only durability note: a snapshot of a
+	// thread's still-open schedule interval, written periodically in record
+	// mode so a thread parked in a long blocking event (e.g. main in Join)
+	// does not hold the whole crash-recovery prefix hostage behind its
+	// unflushed interval. Replay and the schedule index ignore these; only
+	// torn-write recovery (repairSet) consumes them.
+	KindOpenInterval
+
 	// New kinds must be appended here, never inserted above: kind values are
 	// part of the on-disk log format.
 	kindMax
@@ -101,6 +109,7 @@ var kindNames = [...]string{
 	KindVMMeta:       "vm-meta",
 	KindCheckpoint:   "checkpoint",
 	KindTimedWait:    "timed-wait",
+	KindOpenInterval: "open-interval",
 }
 
 func (k Kind) String() string {
@@ -138,6 +147,33 @@ func (iv *Interval) encode(e *enc) {
 }
 
 func (iv *Interval) decode(d *dec) {
+	iv.Thread = ids.ThreadNum(d.u32())
+	iv.First = ids.GCount(d.u64())
+	iv.Last = iv.First + ids.GCount(d.u64())
+}
+
+// OpenInterval is a periodic snapshot of a thread's still-open schedule
+// interval, appended to the WAL during record so crash recovery can credit
+// coverage that extendIntervalLocked has not flushed yet. An OpenInterval
+// with a given (Thread, First) is always a prefix of the Interval eventually
+// flushed with the same First, so recovery dedups by (Thread, First) keeping
+// the largest Last. It carries no schedule semantics: BuildScheduleIndex and
+// replay skip it.
+type OpenInterval struct {
+	Thread ids.ThreadNum
+	First  ids.GCount
+	Last   ids.GCount
+}
+
+func (iv *OpenInterval) Kind() Kind { return KindOpenInterval }
+
+func (iv *OpenInterval) encode(e *enc) {
+	e.u32(uint32(iv.Thread))
+	e.u64(uint64(iv.First))
+	e.u64(uint64(iv.Last - iv.First))
+}
+
+func (iv *OpenInterval) decode(d *dec) {
 	iv.Thread = ids.ThreadNum(d.u32())
 	iv.First = ids.GCount(d.u64())
 	iv.Last = iv.First + ids.GCount(d.u64())
@@ -591,6 +627,8 @@ func newEntry(k Kind) (Entry, error) {
 		return &VMMeta{}, nil
 	case KindCheckpoint:
 		return &CheckpointEntry{}, nil
+	case KindOpenInterval:
+		return &OpenInterval{}, nil
 	default:
 		return nil, corruptf("unknown record kind %d", k)
 	}

@@ -103,6 +103,14 @@ func BuildScheduleIndex(l *Log) (*ScheduleIndex, error) {
 				return nil, err
 			}
 			idx.Checkpoints = append(idx.Checkpoints, v)
+		case KindOpenInterval:
+			// Durability notes for crash recovery only; they carry no
+			// schedule semantics, so replay skips them.
+			var v OpenInterval
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
 		default:
 			return nil, unexpectedRecord(k, "schedule")
 		}

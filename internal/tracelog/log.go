@@ -22,6 +22,11 @@ type Log struct {
 	// observability layer uses to count log volume without the log importing
 	// it. Called outside the log's lock.
 	onAppend func(bytes int)
+	// wal, when set, receives a framed copy of every appended record tagged
+	// with walID. Written under mu so the durable stream preserves append
+	// order exactly.
+	wal   *WALWriter
+	walID uint8
 }
 
 // NewLog returns an empty log.
@@ -51,6 +56,9 @@ func (l *Log) Append(e Entry) {
 	l.enc.u8(uint8(e.Kind()))
 	e.encode(&l.enc)
 	n := len(l.enc.buf) - len(l.buf)
+	if l.wal != nil {
+		l.wal.append(l.walID, l.enc.buf[len(l.buf):])
+	}
 	l.buf = l.enc.buf
 	l.enc.buf = nil
 	l.entries++
@@ -164,6 +172,9 @@ type Set struct {
 	Network *Log
 	// Datagram is the RecordedDatagramLog.
 	Datagram *Log
+
+	// wal is the writer attached with AttachWAL, if any.
+	wal *WALWriter
 }
 
 // NewSet returns an empty log set.

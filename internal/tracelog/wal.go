@@ -1,0 +1,597 @@
+package tracelog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/ids"
+)
+
+// Durable write-ahead logging for the record phase.
+//
+// A recording VM normally keeps its three logs in memory and persists them at
+// Close; a crash loses the run. The WAL tees every append into a single
+// on-disk file as a length+CRC32-framed record, fsynced every SyncEvery
+// records. Because all appends of one VM are serialized (the VM performs them
+// inside GC-critical sections), the single file preserves the true cross-log
+// append order — so truncating a damaged WAL at the first torn frame yields a
+// CONSISTENT cut: if a schedule interval covering counter gc survives, every
+// network/datagram/notify record logged for an event at or before gc was
+// appended earlier in the file and therefore also survives.
+//
+// File layout:
+//
+//	magic "DJVUWAL1" (8 bytes)
+//	frame*: [u8 logID][u32le payloadLen][u32le crc32-IEEE(payload)][payload]
+//
+// where logID selects the destination log (0=schedule, 1=network, 2=datagram)
+// and payload is exactly one encoded log record (kind byte + fields), byte-for-
+// byte identical to the in-memory stream.
+
+// WALMagic is the 8-byte file header identifying a DejaVu write-ahead log.
+const WALMagic = "DJVUWAL1"
+
+// walFrameHdrLen is logID (1) + payload length (4) + CRC32 (4).
+const walFrameHdrLen = 9
+
+// maxWALPayload bounds a frame's declared payload length; anything larger is
+// treated as corruption rather than an allocation request.
+const maxWALPayload = 1 << 28
+
+// DefaultSyncEvery is the fsync cadence used when WALOptions.SyncEvery is 0:
+// flush+fsync after this many appended records.
+const DefaultSyncEvery = 64
+
+// WAL log ids — the frame tag selecting the destination log.
+const (
+	walSchedule = iota
+	walNetwork
+	walDatagram
+	walLogCount
+)
+
+// ErrNotWAL reports that a file does not begin with the WAL magic.
+var ErrNotWAL = errors.New("tracelog: not a write-ahead log")
+
+// WALOptions configures a WALWriter.
+type WALOptions struct {
+	// SyncEvery is the fsync cadence: flush and fsync after this many
+	// appended records. 0 means DefaultSyncEvery; negative means never sync
+	// automatically (only on Sync/Close).
+	SyncEvery int
+	// OnSync, when set, observes each completed fsync — the hook the
+	// observability layer uses to count WAL syncs.
+	OnSync func()
+}
+
+// WALWriter appends framed log records to a single durable file. Errors are
+// sticky: after the first write/sync failure every subsequent call reports it,
+// and the in-memory log keeps recording (durability degrades, recording does
+// not stop).
+type WALWriter struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	path    string
+	pending int
+	opts    WALOptions
+	err     error
+	syncs   uint64
+	records uint64
+}
+
+// CreateWAL creates (truncating) the WAL file at path and writes its header.
+func CreateWAL(path string, opts WALOptions) (*WALWriter, error) {
+	if opts.SyncEvery == 0 {
+		opts.SyncEvery = DefaultSyncEvery
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("tracelog: create wal %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("tracelog: create wal %s: %w", path, err)
+	}
+	w := &WALWriter{f: f, w: bufio.NewWriter(f), path: path, opts: opts}
+	if _, err := w.w.WriteString(WALMagic); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tracelog: create wal %s: %w", path, err)
+	}
+	return w, nil
+}
+
+// Path reports the WAL file's path.
+func (w *WALWriter) Path() string { return w.path }
+
+// Err reports the sticky write error, if any.
+func (w *WALWriter) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Stats reports the number of records appended and fsyncs performed.
+func (w *WALWriter) Stats() (records, syncs uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records, w.syncs
+}
+
+// append frames one encoded record. rec is copied into the writer's buffer
+// before return, so callers may pass a slice into a live log buffer.
+func (w *WALWriter) append(logID uint8, rec []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	var hdr [walFrameHdrLen]byte
+	hdr[0] = logID
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(rec)))
+	binary.LittleEndian.PutUint32(hdr[5:9], crc32.ChecksumIEEE(rec))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		w.err = err
+		return
+	}
+	if _, err := w.w.Write(rec); err != nil {
+		w.err = err
+		return
+	}
+	w.records++
+	w.pending++
+	if w.opts.SyncEvery > 0 && w.pending >= w.opts.SyncEvery {
+		w.syncLocked()
+	}
+}
+
+func (w *WALWriter) syncLocked() {
+	if w.err != nil {
+		return
+	}
+	if err := w.w.Flush(); err != nil {
+		w.err = err
+		return
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = err
+		return
+	}
+	w.pending = 0
+	w.syncs++
+	if w.opts.OnSync != nil {
+		w.opts.OnSync()
+	}
+}
+
+// Sync flushes buffered frames and fsyncs the file.
+func (w *WALWriter) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.syncLocked()
+	return w.err
+}
+
+// Close syncs and closes the WAL file.
+func (w *WALWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.syncLocked()
+	cerr := w.f.Close()
+	if w.err == nil {
+		w.err = cerr
+	}
+	return w.err
+}
+
+// attachWAL tees every subsequent append of this log into w, tagged with
+// logID. Same contract as SetObserver: the log must still be empty, or
+// records already appended would be missing from the durable stream.
+func (l *Log) attachWAL(w *WALWriter, logID uint8) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.entries > 0 {
+		return fmt.Errorf("tracelog: AttachWAL on a log that already holds %d records", l.entries)
+	}
+	l.wal = w
+	l.walID = logID
+	return nil
+}
+
+// AttachWAL tees every subsequent append of the set's three logs into w.
+// All three logs must still be empty. The set keeps a reference so SyncWAL
+// and CloseWAL can reach the writer.
+func (s *Set) AttachWAL(w *WALWriter) error {
+	for id, l := range []*Log{s.Schedule, s.Network, s.Datagram} {
+		if err := l.attachWAL(w, uint8(id)); err != nil {
+			return err
+		}
+	}
+	s.wal = w
+	return nil
+}
+
+// WAL returns the writer attached with AttachWAL, or nil.
+func (s *Set) WAL() *WALWriter { return s.wal }
+
+// SyncWAL flushes and fsyncs the attached WAL. No-op without one.
+func (s *Set) SyncWAL() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Sync()
+}
+
+// CloseWAL syncs and closes the attached WAL. No-op without one.
+func (s *Set) CloseWAL() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Close()
+}
+
+// RecoveryReport describes what RecoverFile salvaged from a WAL.
+type RecoveryReport struct {
+	Path string
+
+	// Frame scan.
+	Frames         int   // valid frames recovered
+	GoodBytes      int64 // bytes of the valid prefix (including header)
+	DiscardedBytes int64 // bytes dropped from the tail
+	Truncated      bool  // whether anything was discarded
+	Reason         string // why the scan stopped, when Truncated
+
+	// Per-log record counts recovered from the valid prefix.
+	ScheduleRecords int
+	NetworkRecords  int
+	DatagramRecords int
+
+	// Prefix repair. Clean means the stream ends with the VM's final
+	// vm-meta record (a graceful Close); otherwise the recovered set was
+	// repaired to the largest replayable prefix and a vm-meta synthesized.
+	Clean            bool
+	Synthesized      bool
+	VM               ids.DJVMID
+	World            ids.World
+	FinalGC          ids.GCount // replayable prefix: events [0, FinalGC)
+	DroppedIntervals int        // schedule intervals beyond the prefix
+	DroppedSchedule  int        // notify/timed-wait/checkpoint records dropped
+	DroppedDatagrams int        // datagram deliveries beyond the prefix
+	OpenNotes        int        // open-interval durability notes consumed
+}
+
+// RecoverFile scans a (possibly crashed) node's WAL, truncates at the first
+// torn or corrupt frame, and returns the valid prefix as a log set ready for
+// replay, plus a report of what was salvaged.
+//
+// If the valid prefix ends with the VM's final vm-meta record the run closed
+// cleanly and the set is returned as-is. Otherwise the node crashed
+// mid-record: open schedule intervals and the final meta never reached the
+// log, so RecoverFile computes the largest contiguously covered counter
+// prefix [0, K), drops records beyond it, and synthesizes a vm-meta with
+// FinalGC = K. Replaying the recovered set with StopAtLogEnd reproduces the
+// recorded execution deterministically up to the crash point.
+func RecoverFile(path string) (*Set, *RecoveryReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("tracelog: recover %s: %w", path, err)
+	}
+	rep := &RecoveryReport{Path: path}
+	if len(data) < len(WALMagic) || string(data[:len(WALMagic)]) != WALMagic {
+		return nil, nil, fmt.Errorf("%w: %s", ErrNotWAL, path)
+	}
+
+	var bufs [walLogCount][]byte
+	var counts [walLogCount]int
+	var scratch [kindMax]Entry
+	off := len(WALMagic)
+	for off < len(data) {
+		rest := len(data) - off
+		if rest < walFrameHdrLen {
+			rep.stopScan(off, len(data), "torn frame header")
+			break
+		}
+		logID := data[off]
+		plen := int(binary.LittleEndian.Uint32(data[off+1 : off+5]))
+		sum := binary.LittleEndian.Uint32(data[off+5 : off+9])
+		if logID >= walLogCount {
+			rep.stopScan(off, len(data), fmt.Sprintf("invalid log id %d", logID))
+			break
+		}
+		if plen > maxWALPayload {
+			rep.stopScan(off, len(data), fmt.Sprintf("implausible frame length %d", plen))
+			break
+		}
+		if rest < walFrameHdrLen+plen {
+			rep.stopScan(off, len(data), "torn frame payload")
+			break
+		}
+		payload := data[off+walFrameHdrLen : off+walFrameHdrLen+plen]
+		if crc32.ChecksumIEEE(payload) != sum {
+			rep.stopScan(off, len(data), "frame checksum mismatch")
+			break
+		}
+		if reason, ok := validRecord(payload, &scratch); !ok {
+			rep.stopScan(off, len(data), reason)
+			break
+		}
+		bufs[logID] = append(bufs[logID], payload...)
+		counts[logID]++
+		rep.Frames++
+		off += walFrameHdrLen + plen
+	}
+	if !rep.Truncated {
+		rep.GoodBytes = int64(len(data))
+	}
+	rep.ScheduleRecords = counts[walSchedule]
+	rep.NetworkRecords = counts[walNetwork]
+	rep.DatagramRecords = counts[walDatagram]
+
+	s := NewSet()
+	s.Schedule.buf, s.Schedule.entries = bufs[walSchedule], counts[walSchedule]
+	s.Network.buf, s.Network.entries = bufs[walNetwork], counts[walNetwork]
+	s.Datagram.buf, s.Datagram.entries = bufs[walDatagram], counts[walDatagram]
+
+	if err := repairSet(s, rep); err != nil {
+		return nil, rep, err
+	}
+	return s, rep, nil
+}
+
+func (r *RecoveryReport) stopScan(off, total int, reason string) {
+	r.Truncated = true
+	r.Reason = reason
+	r.GoodBytes = int64(off)
+	r.DiscardedBytes = int64(total - off)
+}
+
+// validRecord checks that payload decodes as exactly one known record with no
+// trailing bytes, so a frame whose checksum survived a crash but whose body is
+// garbage still truncates the scan.
+func validRecord(payload []byte, scratch *[kindMax]Entry) (string, bool) {
+	d := &dec{buf: payload}
+	k := Kind(d.u8())
+	if d.err != nil {
+		return "empty frame payload", false
+	}
+	if int(k) >= len(scratch) || scratch[k] == nil {
+		e, err := newEntry(k)
+		if err != nil {
+			return fmt.Sprintf("unknown record kind %d", k), false
+		}
+		scratch[k] = e
+	}
+	scratch[k].decode(d)
+	if d.err != nil {
+		return fmt.Sprintf("undecodable %v record", k), false
+	}
+	if !d.done() {
+		return fmt.Sprintf("trailing bytes after %v record", k), false
+	}
+	return "", true
+}
+
+// repairSet trims a recovered set to its largest replayable prefix and
+// synthesizes the final vm-meta when the recording VM never closed.
+func repairSet(s *Set, rep *RecoveryReport) error {
+	sched, err := s.Schedule.Entries()
+	if err != nil {
+		return fmt.Errorf("tracelog: recover %s: schedule: %w", rep.Path, err)
+	}
+
+	// A graceful Close appends the final vm-meta as the very last schedule
+	// record, with the thread count filled in; the durable identity header
+	// written at EnableWAL time carries Threads == 0. Distinguish the two so
+	// a full WAL of a cleanly closed run needs no repair.
+	if n := len(sched); n > 0 {
+		if m, ok := sched[n-1].(*VMMeta); ok && m.Threads > 0 {
+			rep.Clean = true
+			rep.VM, rep.World, rep.FinalGC = m.VM, m.World, m.FinalGC
+			return nil
+		}
+	}
+
+	// Crashed mid-record: identity comes from the header meta.
+	var header *VMMeta
+	for _, e := range sched {
+		if m, ok := e.(*VMMeta); ok {
+			header = m
+			break
+		}
+	}
+	if header == nil {
+		return corruptf("recover %s: no vm-meta identity record in salvaged prefix (was the WAL enabled before recording started?)", rep.Path)
+	}
+	rep.Synthesized = true
+	rep.VM, rep.World = header.VM, header.World
+
+	// The replayable prefix [0, K): K is the first global counter not covered
+	// by any salvaged coverage evidence. Evidence comes in two forms: flushed
+	// Interval records, and OpenInterval durability notes snapshotting a
+	// thread's still-open interval (without them, a thread parked in a long
+	// blocking event — main in Join, say — would hold the whole prefix
+	// hostage behind its unflushed interval). A note with a given
+	// (Thread, First) is always a prefix of the interval eventually flushed
+	// with that First, so dedup by (Thread, First) keeping the largest Last;
+	// the deduped claims are then disjoint and a sort-and-sweep finds the
+	// first gap. Everything below K is fully scheduled; per-event records
+	// (notify, datagram deliveries, network entries) for events below K are
+	// guaranteed present because they were appended to the WAL at event time,
+	// before the coverage claiming them.
+	type ivKey struct {
+		t ids.ThreadNum
+		f ids.GCount
+	}
+	merged := make(map[ivKey]Interval)
+	maxThread := ids.ThreadNum(0)
+	for _, e := range sched {
+		var iv Interval
+		switch v := e.(type) {
+		case *Interval:
+			iv = *v
+		case *OpenInterval:
+			iv = Interval{Thread: v.Thread, First: v.First, Last: v.Last}
+			rep.OpenNotes++
+		default:
+			continue
+		}
+		if iv.Thread > maxThread {
+			maxThread = iv.Thread
+		}
+		key := ivKey{iv.Thread, iv.First}
+		if cur, ok := merged[key]; !ok || iv.Last > cur.Last {
+			merged[key] = iv
+		}
+	}
+	ivs := make([]Interval, 0, len(merged))
+	for _, iv := range merged {
+		ivs = append(ivs, iv)
+	}
+	sortIntervals(ivs)
+	k := ids.GCount(0)
+	for _, iv := range ivs {
+		if iv.First > k {
+			break
+		}
+		if iv.Last+1 > k {
+			k = iv.Last + 1
+		}
+	}
+	rep.FinalGC = k
+
+	// Rebuild the schedule log: identity header, then the deduped coverage
+	// as ordinary Interval records (sorted by First, which also preserves
+	// per-thread execution order), then surviving per-event records. Note
+	// records are not carried over — their information now lives in the
+	// rebuilt intervals.
+	newSched := NewLog()
+	newSched.Append(header)
+	for i := range ivs {
+		iv := ivs[i]
+		if iv.First >= k {
+			rep.DroppedIntervals++
+			continue
+		}
+		if iv.Last >= k {
+			// Deduped claims are disjoint, so a claim overlapping K can
+			// only mean the coverage sweep and the log disagree.
+			return corruptf("recover %s: interval [%d,%d] straddles recovered prefix %d", rep.Path, iv.First, iv.Last, k)
+		}
+		newSched.Append(&iv)
+	}
+	for _, e := range sched {
+		switch v := e.(type) {
+		case *Interval, *OpenInterval:
+			continue
+		case *Notify:
+			if v.GC >= k {
+				rep.DroppedSchedule++
+				continue
+			}
+		case *TimedWaitEntry:
+			if v.GC >= k {
+				rep.DroppedSchedule++
+				continue
+			}
+		case *CheckpointEntry:
+			if v.GC >= k {
+				rep.DroppedSchedule++
+				continue
+			}
+		case *VMMeta:
+			// Header already appended; the synthesized final meta appended
+			// below wins in BuildScheduleIndex (last meta wins).
+			continue
+		}
+		newSched.Append(e)
+	}
+
+	// Thread count for the synthesized meta: threads whose intervals were
+	// lost can still be referenced by salvaged network/datagram records, and
+	// logcheck validates those references against the meta.
+	if t, err := maxThreadRef(s.Network); err == nil && t > maxThread {
+		maxThread = t
+	}
+	if t, err := maxThreadRef(s.Datagram); err == nil && t > maxThread {
+		maxThread = t
+	}
+	newSched.Append(&VMMeta{VM: header.VM, World: header.World, Threads: uint32(maxThread) + 1, FinalGC: k})
+	s.Schedule = newSched
+
+	// Datagram deliveries at counters beyond the prefix will never be asked
+	// for by replay and would fail validation against the synthesized meta.
+	oldDatagrams, err := s.Datagram.Entries()
+	if err != nil {
+		return fmt.Errorf("tracelog: recover %s: datagram: %w", rep.Path, err)
+	}
+	newDg := NewLog()
+	for _, e := range oldDatagrams {
+		if g, ok := e.(*DatagramRecvEntry); ok && g.ReceiverGC >= k {
+			rep.DroppedDatagrams++
+			continue
+		}
+		newDg.Append(e)
+	}
+	s.Datagram = newDg
+	return nil
+}
+
+func sortIntervals(ivs []Interval) {
+	// Insertion sort: interval records arrive nearly sorted (append order
+	// tracks counter order closely), and this avoids pulling in sort for a
+	// recovery path that runs once.
+	for i := 1; i < len(ivs); i++ {
+		for j := i; j > 0 && ivs[j].First < ivs[j-1].First; j-- {
+			ivs[j], ivs[j-1] = ivs[j-1], ivs[j]
+		}
+	}
+}
+
+// maxThreadRef scans a network or datagram log for the highest thread number
+// referenced by any record's event id.
+func maxThreadRef(l *Log) (ids.ThreadNum, error) {
+	entries, err := l.Entries()
+	if err != nil {
+		return 0, err
+	}
+	maxT := ids.ThreadNum(0)
+	upd := func(t ids.ThreadNum) {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	for _, e := range entries {
+		switch v := e.(type) {
+		case *ServerSocketEntry:
+			upd(v.ServerID.Thread)
+		case *ReadEntry:
+			upd(v.EventID.Thread)
+		case *AvailableEntry:
+			upd(v.EventID.Thread)
+		case *BindEntry:
+			upd(v.EventID.Thread)
+		case *NetErrEntry:
+			upd(v.EventID.Thread)
+		case *DatagramRecvEntry:
+			upd(v.EventID.Thread)
+		case *OpenConnectEntry:
+			upd(v.EventID.Thread)
+		case *OpenAcceptEntry:
+			upd(v.EventID.Thread)
+		case *OpenReadEntry:
+			upd(v.EventID.Thread)
+		case *OpenWriteEntry:
+			upd(v.EventID.Thread)
+		case *OpenDatagramEntry:
+			upd(v.EventID.Thread)
+		case *EnvEntry:
+			upd(v.EventID.Thread)
+		}
+	}
+	return maxT, nil
+}
