@@ -1,22 +1,36 @@
 // djtrace inspects DJVM logs saved with Node.SaveLogs / tracelog.Set.Save:
 //
-//	djtrace <logdir>              # summary + full dump
-//	djtrace -summary <logdir>     # summary only
-//	djtrace -json <logdir>        # machine-readable per-log summary
-//	djtrace -check <logdir>...    # validate log sets (cross-VM when several)
+//	djtrace <logdir>                       # summary + full dump
+//	djtrace -summary <logdir>              # summary only
+//	djtrace -json <logdir>                 # machine-readable per-log summary
+//	djtrace -entries <logdir>              # stream every record as NDJSON
+//	djtrace -check <logdir>...             # validate log sets (cross-VM when several)
+//	djtrace -perfetto out.json <logdir>... # export the causal graph as Chrome trace JSON
+//	djtrace -critpath <logdir>...          # replay critical-path / stall analysis
+//	djtrace -why-diverged vm:gc [-k n] <logdir>...  # causal history of a divergence point
+//	djtrace -mkfixture <outdir>            # record a small traced kvapp run (CI fixture)
+//	djtrace -verify-perfetto <file>        # validate a -perfetto export
 //
 // It renders the schedule log (VM meta, logical schedule intervals, notify
 // payloads, checkpoints), the NetworkLogFile, and the RecordedDatagramLog in
 // human-readable form; -json emits byte sizes, per-kind record counts and
 // interval/event totals as JSON; -check runs the logcheck validator instead.
+// The causal modes (-perfetto, -critpath, -why-diverged) reconstruct the
+// cross-VM happens-before graph from one log directory per VM; record with
+// causal tracing enabled to get handshake and stream edges.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"repro/internal/causal"
+	"repro/internal/ids"
+	"repro/internal/kvapp"
 	"repro/internal/logcheck"
 	"repro/internal/tracelog"
 )
@@ -24,22 +38,68 @@ import (
 func main() {
 	summaryOnly := flag.Bool("summary", false, "print only per-log summaries")
 	asJSON := flag.Bool("json", false, "emit per-log summaries as JSON")
+	entries := flag.Bool("entries", false, "stream every record as NDJSON")
 	check := flag.Bool("check", false, "validate the log set(s) instead of dumping")
+	perfetto := flag.String("perfetto", "", "write the causal graph as Chrome trace-event JSON to `file`")
+	critpath := flag.Bool("critpath", false, "print the replay critical-path / stall report")
+	whyDiverged := flag.String("why-diverged", "", "print the causal history of divergence point `vm:gc`")
+	k := flag.Int("k", 10, "how many causally-preceding event ranges -why-diverged prints")
+	mkfixture := flag.String("mkfixture", "", "record a small traced kvapp run into `dir` (one subdir per VM)")
+	verifyPerfetto := flag.String("verify-perfetto", "", "validate a -perfetto export `file`")
 	flag.Parse()
-	if flag.NArg() < 1 || (!*check && flag.NArg() != 1) {
-		fmt.Fprintln(os.Stderr, "usage: djtrace [-summary|-json] <logdir> | djtrace -check <logdir>...")
-		os.Exit(2)
-	}
 
-	if *check {
-		var sets []*tracelog.Set
-		for _, dir := range flag.Args() {
-			set, err := tracelog.LoadSet(dir)
+	switch {
+	case *mkfixture != "":
+		if err := makeFixture(*mkfixture); err != nil {
+			fatal(err)
+		}
+		return
+	case *verifyPerfetto != "":
+		if err := verifyExport(*verifyPerfetto); err != nil {
+			fatal(err)
+		}
+		return
+	case *perfetto != "" || *critpath || *whyDiverged != "":
+		if flag.NArg() < 1 {
+			usage()
+		}
+		g, err := causal.Build(loadSets(flag.Args()))
+		if err != nil {
+			fatal(err)
+		}
+		switch {
+		case *perfetto != "":
+			if err := exportPerfetto(*perfetto, g); err != nil {
+				fatal(err)
+			}
+		case *critpath:
+			causal.CriticalPath(g).WriteReport(os.Stdout)
+		default:
+			var vm ids.DJVMID
+			var gc ids.GCount
+			if _, err := fmt.Sscanf(*whyDiverged, "%d:%d", &vm, &gc); err != nil {
+				fatal(fmt.Errorf("-why-diverged wants vm:gc, got %q", *whyDiverged))
+			}
+			causes, err := causal.WhyDiverged(g, vm, gc, *k)
 			if err != nil {
 				fatal(err)
 			}
-			sets = append(sets, set)
+			fmt.Printf("last %d causally-preceding recorded event ranges before vm %d counter %d (most recent first):\n",
+				len(causes), vm, gc)
+			for _, c := range causes {
+				fmt.Printf("  vm %-3d thread %-3d gc [%d,%d]  %d hop(s) away via %v\n",
+					c.VM, c.Thread, c.First, c.Last, c.Dist, c.Via)
+			}
 		}
+		return
+	}
+
+	if flag.NArg() < 1 || (!*check && flag.NArg() != 1) {
+		usage()
+	}
+
+	if *check {
+		sets := loadSets(flag.Args())
 		rep := logcheck.CheckWorld(sets)
 		if rep.OK() {
 			fmt.Printf("ok: %d log set(s) consistent\n", len(sets))
@@ -55,15 +115,43 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *asJSON {
+	switch {
+	case *asJSON:
 		if err := emitJSON(os.Stdout, set); err != nil {
 			fatal(err)
 		}
-		return
+	case *entries:
+		if err := emitEntries(os.Stdout, set); err != nil {
+			fatal(err)
+		}
+	default:
+		dump("schedule.log", set.Schedule, *summaryOnly)
+		dump("network.log", set.Network, *summaryOnly)
+		dump("datagram.log", set.Datagram, *summaryOnly)
 	}
-	dump("schedule.log", set.Schedule, *summaryOnly)
-	dump("network.log", set.Network, *summaryOnly)
-	dump("datagram.log", set.Datagram, *summaryOnly)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: djtrace [-summary|-json|-entries] <logdir>
+       djtrace -check <logdir>...
+       djtrace -perfetto out.json <logdir>...
+       djtrace -critpath <logdir>...
+       djtrace -why-diverged vm:gc [-k n] <logdir>...
+       djtrace -mkfixture <outdir>
+       djtrace -verify-perfetto <file>`)
+	os.Exit(2)
+}
+
+func loadSets(dirs []string) []*tracelog.Set {
+	var sets []*tracelog.Set
+	for _, dir := range dirs {
+		set, err := tracelog.LoadSet(dir)
+		if err != nil {
+			fatal(err)
+		}
+		sets = append(sets, set)
+	}
+	return sets
 }
 
 // logSummary is the -json shape for one log file.
@@ -97,19 +185,21 @@ func emitJSON(w *os.File, set *tracelog.Set) error {
 		{set.Network, &out.Network},
 		{set.Datagram, &out.Datagram},
 	} {
-		entries, err := f.log.Entries()
-		if err != nil {
-			return err
-		}
 		f.dst.Bytes = f.log.Size()
-		f.dst.Records = len(entries)
 		f.dst.Kinds = map[string]int{}
-		for _, e := range entries {
+		// Stream the walk: the counters need one record at a time, never the
+		// whole decoded slice.
+		err := f.log.Each(func(e tracelog.Entry) error {
+			f.dst.Records++
 			f.dst.Kinds[e.Kind().String()]++
 			if iv, ok := e.(*tracelog.Interval); ok {
 				f.dst.Intervals++
 				f.dst.IntervalEvents += uint64(iv.Last-iv.First) + 1
 			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 	}
 	out.TotalBytes = set.TotalSize()
@@ -118,16 +208,50 @@ func emitJSON(w *os.File, set *tracelog.Set) error {
 	return enc.Encode(out)
 }
 
+// entryLine is the -entries NDJSON shape: one line per record, emitted as
+// it is decoded.
+type entryLine struct {
+	Log   string `json:"log"`
+	Index int    `json:"i"`
+	Kind  string `json:"kind"`
+	Desc  string `json:"desc"`
+}
+
+func emitEntries(w *os.File, set *tracelog.Set) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, f := range []struct {
+		name string
+		log  *tracelog.Log
+	}{
+		{"schedule", set.Schedule},
+		{"network", set.Network},
+		{"datagram", set.Datagram},
+	} {
+		i := 0
+		err := f.log.Each(func(e tracelog.Entry) error {
+			line := entryLine{Log: f.name, Index: i, Kind: e.Kind().String(), Desc: render(e)}
+			i++
+			return enc.Encode(line)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
 func dump(name string, l *tracelog.Log, summaryOnly bool) {
-	entries, err := l.Entries()
-	if err != nil {
+	byKind := map[tracelog.Kind]int{}
+	records := 0
+	if err := l.Each(func(e tracelog.Entry) error {
+		byKind[e.Kind()]++
+		records++
+		return nil
+	}); err != nil {
 		fatal(fmt.Errorf("%s: %w", name, err))
 	}
-	byKind := map[tracelog.Kind]int{}
-	for _, e := range entries {
-		byKind[e.Kind()]++
-	}
-	fmt.Printf("== %s: %d bytes, %d records ==\n", name, l.Size(), len(entries))
+	fmt.Printf("== %s: %d bytes, %d records ==\n", name, l.Size(), records)
 	for k := tracelog.Kind(1); k < tracelog.Kind(32); k++ {
 		if n := byKind[k]; n > 0 {
 			fmt.Printf("   %-14v %6d\n", k, n)
@@ -137,8 +261,17 @@ func dump(name string, l *tracelog.Log, summaryOnly bool) {
 		fmt.Println()
 		return
 	}
-	for i, e := range entries {
-		fmt.Printf("  %6d  %s\n", i, render(e))
+	w := bufio.NewWriter(os.Stdout)
+	i := 0
+	if err := l.Each(func(e tracelog.Entry) error {
+		_, err := fmt.Fprintf(w, "  %6d  %s\n", i, render(e))
+		i++
+		return err
+	}); err != nil {
+		fatal(fmt.Errorf("%s: %w", name, err))
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
 	}
 	fmt.Println()
 }
@@ -158,6 +291,8 @@ func render(e tracelog.Entry) string {
 			v.GC, v.NextThread, v.TakerThread, len(v.State))
 	case *tracelog.TimedWaitEntry:
 		return fmt.Sprintf("timed-wait    gc=%d check=%v timedOut=%v", v.GC, v.Check, v.TimedOut)
+	case *tracelog.TimestampEntry:
+		return fmt.Sprintf("timestamp     gc=%d wall=%d", v.GC, v.Wall)
 	case *tracelog.ServerSocketEntry:
 		return fmt.Sprintf("server-socket serverId=%v clientId=%v", v.ServerID, v.ClientID)
 	case *tracelog.ReadEntry:
@@ -168,6 +303,9 @@ func render(e tracelog.Entry) string {
 		return fmt.Sprintf("bind          %v port=%d", v.EventID, v.Port)
 	case *tracelog.NetErrEntry:
 		return fmt.Sprintf("net-err       %v op=%s msg=%q", v.EventID, v.Op, v.Msg)
+	case *tracelog.NetSpanEntry:
+		return fmt.Sprintf("net-span      %v gc=%d op=%s conn=%v off=%d len=%d",
+			v.EventID, v.GC, tracelog.NetOpName(v.Op), v.Conn, v.Offset, v.Len)
 	case *tracelog.DatagramRecvEntry:
 		return fmt.Sprintf("datagram-recv %v recvGC=%d datagram=%v", v.EventID, v.ReceiverGC, v.Datagram)
 	case *tracelog.OpenConnectEntry:
@@ -187,6 +325,127 @@ func render(e tracelog.Entry) string {
 	default:
 		return fmt.Sprintf("%v", e.Kind())
 	}
+}
+
+// exportPerfetto writes the graph to path and enforces the correlation
+// invariant: one message flow arrow per recorded cross-VM message.
+func exportPerfetto(path string, g *causal.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	stats, err := causal.WritePerfetto(f, g)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	msgFlows := stats.FlowsByKind[causal.EdgeHandshake] +
+		stats.FlowsByKind[causal.EdgeStream] + stats.FlowsByKind[causal.EdgeDatagram]
+	fmt.Printf("wrote %s: %d slices, %d flows (%d message, %d notify) for %d cross-VM messages\n",
+		path, stats.Slices, stats.Flows, msgFlows, stats.FlowsByKind[causal.EdgeNotify], stats.Messages)
+	if s := g.Stats; s.UnmatchedHandshakes+s.UnmatchedWrites+s.DanglingDatagrams > 0 {
+		fmt.Fprintf(os.Stderr,
+			"warning: uncorrelated traffic: %d handshakes, %d writes, %d datagrams (recorded without -causal tracing?)\n",
+			s.UnmatchedHandshakes, s.UnmatchedWrites, s.DanglingDatagrams)
+	}
+	if msgFlows != stats.Messages {
+		return fmt.Errorf("export emitted %d message flows for %d cross-VM messages", msgFlows, stats.Messages)
+	}
+	return nil
+}
+
+// makeFixture records a small two-client kvapp run with causal tracing and
+// timestamp sampling on, and saves one log directory per VM — the input the
+// CI trace-smoke job feeds to -perfetto.
+func makeFixture(dir string) error {
+	_, logs, err := kvapp.Run(kvapp.Config{
+		Replicas: 1, Clients: 2, OpsPerClient: 5,
+		Mode: ids.Record, Seed: 42, Chaos: kvapp.DefaultChaos(),
+		CausalTrace: true, TimestampEvery: 8,
+	})
+	if err != nil {
+		return err
+	}
+	for _, set := range logs {
+		sched, err := tracelog.BuildScheduleIndex(set.Schedule)
+		if err != nil {
+			return err
+		}
+		sub := filepath.Join(dir, fmt.Sprintf("vm%d", sched.Meta.VM))
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return err
+		}
+		if err := set.Save(sub); err != nil {
+			return err
+		}
+		fmt.Println(sub)
+	}
+	return nil
+}
+
+// verifyExport re-parses a -perfetto export and checks the structural
+// invariants a viewer depends on: valid JSON, every flow start paired with a
+// finish of the same category, and at least one cross-VM message flow.
+func verifyExport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Cat string `json:"cat"`
+			ID  string `json:"id"`
+			BP  string `json:"bp"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: not valid trace-event JSON: %w", path, err)
+	}
+	msgCats := map[string]bool{"handshake": true, "stream": true, "datagram": true}
+	starts := map[string]string{}
+	finishes := map[string]string{}
+	slices, msgFlows := 0, 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			slices++
+		case "s":
+			if _, dup := starts[ev.ID]; dup {
+				return fmt.Errorf("%s: duplicate flow start id %q", path, ev.ID)
+			}
+			starts[ev.ID] = ev.Cat
+			if msgCats[ev.Cat] {
+				msgFlows++
+			}
+		case "f":
+			if ev.BP != "e" {
+				return fmt.Errorf("%s: flow finish %q has bp=%q, want \"e\"", path, ev.ID, ev.BP)
+			}
+			finishes[ev.ID] = ev.Cat
+		}
+	}
+	for id, cat := range starts {
+		if fcat, ok := finishes[id]; !ok || fcat != cat {
+			return fmt.Errorf("%s: flow %q start (%s) has no matching finish", path, id, cat)
+		}
+	}
+	for id := range finishes {
+		if _, ok := starts[id]; !ok {
+			return fmt.Errorf("%s: flow %q finish has no start", path, id)
+		}
+	}
+	if slices == 0 {
+		return fmt.Errorf("%s: no slices", path)
+	}
+	if msgFlows == 0 {
+		return fmt.Errorf("%s: no cross-VM message flows", path)
+	}
+	fmt.Printf("ok: %s: %d slices, %d flows (%d cross-VM message flows)\n",
+		path, slices, len(starts), msgFlows)
+	return nil
 }
 
 func fatal(err error) {

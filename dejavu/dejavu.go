@@ -43,6 +43,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/causal"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/djenv"
@@ -144,6 +145,24 @@ type (
 	// FaultCounts groups a snapshot's fault-tolerance counters (WAL syncs,
 	// connect retries, unreachable peers, log-end stops).
 	FaultCounts = obs.FaultCounts
+
+	// CausalGraph is the reconstructed cross-VM happens-before graph of a
+	// recorded world. See Analyze.
+	CausalGraph = causal.Graph
+	// CausalEdgeKind classifies a happens-before edge (program order, thread
+	// handoff, notify, connection handshake, stream data, datagram).
+	CausalEdgeKind = causal.EdgeKind
+	// CausalStats reports what the analyzer correlated — and what it could
+	// not (unmatched counts are coverage holes, never silent drops).
+	CausalStats = causal.BuildStats
+	// CriticalPathReport attributes a recorded run's wall time to per-thread
+	// turn-wait stalls and its logical length to the longest dependency chain.
+	CriticalPathReport = causal.Report
+	// DivergenceCause is one recorded event range causally preceding a
+	// divergence point.
+	DivergenceCause = causal.Cause
+	// PerfettoStats summarizes a WritePerfetto export.
+	PerfettoStats = causal.PerfettoStats
 )
 
 // Fault-tolerance errors surfaced through the facade.
@@ -421,6 +440,56 @@ func (n *Node) SaveLogs(dir string) error {
 
 // LoadLogs reads logs previously persisted with SaveLogs.
 func LoadLogs(dir string) (*Logs, error) { return tracelog.LoadSet(dir) }
+
+// EnableCausalTrace makes a record-mode node annotate its network log with
+// byte-offset spans for connects, accepts, stream reads and writes, so
+// Analyze can correlate cross-VM messages into happens-before edges. Call it
+// before Start; replay ignores the annotations. Off by default: without it
+// recorded logs are byte-identical to previous releases.
+func (n *Node) EnableCausalTrace() error { return n.vm.EnableCausalTrace() }
+
+// EnableTimestamps makes a record-mode node log a wall-clock anchor every
+// `every` critical events (plus one at the start and one at the end of the
+// run), giving CriticalPath a counter→wall-time mapping. Call it before
+// Start; replay ignores the anchors. Off by default.
+func (n *Node) EnableTimestamps(every int) error { return n.vm.EnableTimestamps(every) }
+
+// Analyze reconstructs the cross-VM happens-before graph of a recorded world
+// from one log set per node: program order from the logical schedule,
+// synchronization edges from notify records, and message edges from the
+// causal-trace annotations (handshakes, stream byte spans) and datagram
+// delivery records. The graph is proven acyclic, each node carries a logical
+// start time and a vector clock, and CausalStats reports anything that could
+// not be correlated. Feed it to WritePerfetto, CriticalPath, or WhyDiverged.
+func Analyze(logs ...*Logs) (*CausalGraph, error) { return causal.Build(logs) }
+
+// WritePerfetto exports an analyzed graph as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev): one process per node, one track per
+// thread, one slice per schedule segment, and one flow arrow per correlated
+// cross-VM message or notify wake-up.
+func WritePerfetto(w io.Writer, g *CausalGraph) (PerfettoStats, error) {
+	return causal.WritePerfetto(w, g)
+}
+
+// CriticalPath computes the longest dependency chain through an analyzed
+// graph — the replay speed-of-light — and attributes logical and wall-clock
+// stall time to each thread.
+func CriticalPath(g *CausalGraph) CriticalPathReport { return causal.CriticalPath(g) }
+
+// WhyDiverged returns the k most recent recorded event ranges, across every
+// node, that causally precede the event at ⟨vm, gc⟩ — the history to inspect
+// when replay diverges there.
+func WhyDiverged(g *CausalGraph, vm DJVMID, gc GCount, k int) ([]DivergenceCause, error) {
+	return causal.WhyDiverged(g, vm, gc, k)
+}
+
+// ExplainDivergence renders the root-cause report for a DivergenceError
+// recovered from a replay thread: the divergence point, the threads parked at
+// detection and the counters they waited for, and the causally-preceding
+// recorded history.
+func ExplainDivergence(w io.Writer, g *CausalGraph, div *DivergenceError, k int) error {
+	return causal.WriteWhyDiverged(w, g, div, k)
+}
 
 // CheckpointTake records a checkpoint as one critical event of t, capturing
 // the state returned by save (record mode; consumes its schedule slot during

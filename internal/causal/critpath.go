@@ -1,0 +1,209 @@
+package causal
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/obs"
+)
+
+// PathStep is one coalesced stretch of the critical path: consecutive
+// critical events of one thread.
+type PathStep struct {
+	VM     ids.DJVMID
+	Thread ids.ThreadNum
+	First  ids.GCount
+	Last   ids.GCount
+}
+
+// ThreadStall attributes waiting time to one thread: the gaps between its
+// consecutive schedule segments, which during replay are exactly the
+// turn-wait stalls the thread spends parked for other threads' counters.
+type ThreadStall struct {
+	VM     ids.DJVMID
+	Thread ids.ThreadNum
+	// Events is the thread's total critical-event count.
+	Events uint64
+	// Segments is how many graph nodes the thread's schedule produced.
+	Segments int
+	// StallEvents is the logical stall: summed longest-path gaps between the
+	// thread's consecutive segments, in critical-event ticks.
+	StallEvents uint64
+	// StallNanos is the wall-clock stall, interpolated from the run's
+	// sampled timestamp anchors (0 unless the graph HasWall).
+	StallNanos int64
+}
+
+// Report is the critical-path analysis of one reconstructed run.
+type Report struct {
+	// TotalEvents is the critical path's length in events — the minimum
+	// number of serial event ticks any replay of this run must take.
+	TotalEvents uint64
+	// SumEvents is the total critical events across all VMs; TotalEvents /
+	// SumEvents is the run's inherent serialization ratio.
+	SumEvents uint64
+	// Path is the critical path, oldest step first.
+	Path []PathStep
+	// PathShare is the number of critical-path events contributed per VM.
+	PathShare map[ids.DJVMID]uint64
+	// Threads is the per-thread stall attribution, sorted worst-first.
+	Threads []ThreadStall
+	// HasWall reports whether wall-clock attribution was possible.
+	HasWall bool
+	// WallNanos is the recorded run's wall-clock span (latest final anchor
+	// minus earliest initial anchor) when HasWall.
+	WallNanos int64
+	// Stalls is the distribution of per-gap wall stalls when HasWall.
+	Stalls obs.HistogramSnapshot
+}
+
+// CriticalPath computes the longest event-count path through the graph and
+// attributes stall time to each thread. The longest path is the replay
+// speed-of-light: every edge on it is a dependency replay cannot overlap.
+func CriticalPath(g *Graph) Report {
+	rep := Report{PathShare: make(map[ids.DJVMID]uint64), HasWall: g.HasWall()}
+
+	// Longest path: Start is already the longest-path start time; recover
+	// the argmax predecessor per node to walk the path back.
+	best := make([]NodeID, len(g.Nodes))
+	for i := range best {
+		best[i] = -1
+	}
+	for _, id := range g.Order {
+		for _, ei := range g.In[id] {
+			e := g.Edges[ei]
+			if g.Start[e.From]+g.Nodes[e.From].Events() == g.Start[id] {
+				best[id] = e.From
+			}
+		}
+	}
+	end := NodeID(-1)
+	for _, id := range g.Order {
+		f := g.Start[id] + g.Nodes[id].Events()
+		if end < 0 || f > g.Start[end]+g.Nodes[end].Events() {
+			end = id
+		}
+	}
+	if end >= 0 {
+		rep.TotalEvents = g.Start[end] + g.Nodes[end].Events()
+		for id := end; id >= 0; id = best[id] {
+			n := g.Nodes[id]
+			rep.PathShare[n.VM] += n.Events()
+			if len(rep.Path) > 0 {
+				last := &rep.Path[len(rep.Path)-1]
+				if last.VM == n.VM && last.Thread == n.Thread && n.Last+1 == last.First {
+					last.First = n.First
+					continue
+				}
+			}
+			rep.Path = append(rep.Path, PathStep{VM: n.VM, Thread: n.Thread, First: n.First, Last: n.Last})
+		}
+		// Walked back-to-front; present oldest first.
+		for i, j := 0, len(rep.Path)-1; i < j; i, j = i+1, j-1 {
+			rep.Path[i], rep.Path[j] = rep.Path[j], rep.Path[i]
+		}
+	}
+	for _, vm := range g.VMs {
+		rep.SumEvents += uint64(vm.FinalGC)
+	}
+
+	// Per-thread stall attribution.
+	type tkey struct {
+		vm int
+		t  ids.ThreadNum
+	}
+	byThread := make(map[tkey][]NodeID)
+	for id, n := range g.Nodes {
+		vi := g.vmIndex[n.VM]
+		k := tkey{vm: vi, t: n.Thread}
+		byThread[k] = append(byThread[k], NodeID(id))
+	}
+	var stallHist obs.Histogram
+	for k, nodes := range byThread {
+		sort.Slice(nodes, func(i, j int) bool { return g.Nodes[nodes[i]].First < g.Nodes[nodes[j]].First })
+		st := ThreadStall{VM: g.VMs[k.vm].ID, Thread: k.t, Segments: len(nodes)}
+		for i, id := range nodes {
+			n := g.Nodes[id]
+			st.Events += n.Events()
+			if i == 0 {
+				continue
+			}
+			prev := g.Nodes[nodes[i-1]]
+			if gap := g.Start[id] - (g.Start[nodes[i-1]] + prev.Events()); gap > 0 {
+				st.StallEvents += gap
+			}
+			if rep.HasWall {
+				endW, _ := g.WallAt(k.vm, prev.Last+1)
+				startW, _ := g.WallAt(k.vm, n.First)
+				if d := startW - endW; d > 0 {
+					st.StallNanos += d
+					stallHist.Observe(time.Duration(d))
+				}
+			}
+		}
+		rep.Threads = append(rep.Threads, st)
+	}
+	sort.Slice(rep.Threads, func(i, j int) bool {
+		a, b := rep.Threads[i], rep.Threads[j]
+		if a.StallNanos != b.StallNanos {
+			return a.StallNanos > b.StallNanos
+		}
+		if a.StallEvents != b.StallEvents {
+			return a.StallEvents > b.StallEvents
+		}
+		if a.VM != b.VM {
+			return a.VM < b.VM
+		}
+		return a.Thread < b.Thread
+	})
+	if rep.HasWall {
+		rep.Stalls = stallHist.Snapshot()
+		var lo, hi int64
+		for vi, vm := range g.VMs {
+			s, _ := g.WallAt(vi, 0)
+			e, _ := g.WallAt(vi, vm.FinalGC)
+			if vi == 0 || s < lo {
+				lo = s
+			}
+			if vi == 0 || e > hi {
+				hi = e
+			}
+		}
+		rep.WallNanos = hi - lo
+	}
+	return rep
+}
+
+// WriteReport renders the critical-path report for humans.
+func (r Report) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "critical path  %d events", r.TotalEvents)
+	if r.SumEvents > 0 {
+		fmt.Fprintf(w, "  (%.1f%% of %d total — inherent serialization)",
+			100*float64(r.TotalEvents)/float64(r.SumEvents), r.SumEvents)
+	}
+	fmt.Fprintln(w)
+	if r.HasWall {
+		fmt.Fprintf(w, "recorded span  %v\n", time.Duration(r.WallNanos))
+	}
+	for _, s := range r.Path {
+		fmt.Fprintf(w, "  vm %-3d thread %-3d gc [%d,%d]  (%d events)\n",
+			s.VM, s.Thread, s.First, s.Last, uint64(s.Last-s.First)+1)
+	}
+	fmt.Fprintln(w, "per-thread stalls (worst first):")
+	for _, t := range r.Threads {
+		fmt.Fprintf(w, "  vm %-3d thread %-3d events %-7d segments %-5d stall %d ticks",
+			t.VM, t.Thread, t.Events, t.Segments, t.StallEvents)
+		if r.HasWall {
+			fmt.Fprintf(w, "  %v wall", time.Duration(t.StallNanos))
+		}
+		fmt.Fprintln(w)
+	}
+	if r.HasWall && r.Stalls.Count > 0 {
+		fmt.Fprintf(w, "stall gaps     n=%d mean=%v p50=%v p99=%v max=%v\n",
+			r.Stalls.Count, r.Stalls.Mean(), r.Stalls.Quantile(0.50),
+			r.Stalls.Quantile(0.99), r.Stalls.Max())
+	}
+}

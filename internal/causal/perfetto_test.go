@@ -1,0 +1,93 @@
+package causal
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestPerfettoExport validates the acceptance criterion end to end: the export
+// is well-formed Chrome trace-event JSON and its message flow events exactly
+// match the recorded cross-VM message count.
+func TestPerfettoExport(t *testing.T) {
+	logs := recordedKV(t)
+	g, err := Build(logs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	stats, err := WritePerfetto(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string          `json:"ph"`
+			Pid  uint32          `json:"pid"`
+			Tid  uint32          `json:"tid"`
+			Ts   float64         `json:"ts"`
+			Dur  float64         `json:"dur"`
+			Name string          `json:"name"`
+			Cat  string          `json:"cat"`
+			ID   string          `json:"id"`
+			BP   string          `json:"bp"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+
+	msgCats := map[string]bool{"handshake": true, "stream": true, "datagram": true}
+	slices := 0
+	starts := make(map[string]string) // flow id → cat
+	finishes := make(map[string]string)
+	msgFlows := 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			slices++
+			if ev.Dur <= 0 {
+				t.Errorf("slice %q has non-positive duration %v", ev.Name, ev.Dur)
+			}
+		case "s":
+			if _, dup := starts[ev.ID]; dup {
+				t.Errorf("duplicate flow start id %q", ev.ID)
+			}
+			starts[ev.ID] = ev.Cat
+			if msgCats[ev.Cat] {
+				msgFlows++
+			}
+		case "f":
+			if ev.BP != "e" {
+				t.Errorf("flow finish id %q: bp = %q, want \"e\"", ev.ID, ev.BP)
+			}
+			finishes[ev.ID] = ev.Cat
+		}
+	}
+	if slices != len(g.Nodes) || slices != stats.Slices {
+		t.Errorf("slices = %d, want %d (one per node)", slices, len(g.Nodes))
+	}
+	if len(starts) != len(finishes) {
+		t.Errorf("%d flow starts but %d finishes", len(starts), len(finishes))
+	}
+	for id, cat := range starts {
+		if fcat, ok := finishes[id]; !ok {
+			t.Errorf("flow %q has no finish event", id)
+		} else if fcat != cat {
+			t.Errorf("flow %q: start cat %q != finish cat %q", id, cat, fcat)
+		}
+	}
+
+	// The acceptance check: message flow arrows == recorded cross-VM messages.
+	if msgFlows != g.Stats.Messages {
+		t.Errorf("message flows = %d, recorded cross-VM messages = %d", msgFlows, g.Stats.Messages)
+	}
+	if stats.Messages != g.Stats.Messages {
+		t.Errorf("stats.Messages = %d, graph messages = %d", stats.Messages, g.Stats.Messages)
+	}
+	if msgFlows == 0 {
+		t.Error("no message flows in a multi-VM run")
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/tracelog"
+)
+
+// TestTimestampSampling records with timestamp sampling on and checks the
+// schedule log carries a consistent anchor sequence: nondecreasing counters
+// and wall clocks, an initial anchor, the configured cadence, and a final
+// anchor at FinalGC — and that replay of the annotated logs is unaffected.
+func TestTimestampSampling(t *testing.T) {
+	const every = 4
+	var x SharedInt
+	rec, err := NewVM(Config{ID: 80, Mode: ids.Record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.EnableTimestamps(every); err != nil {
+		t.Fatal(err)
+	}
+	rec.Start(func(main *Thread) {
+		for i := 0; i < 10; i++ {
+			x.Set(main, int64(i))
+		}
+	})
+	rec.Wait()
+	rec.Close()
+
+	sched, err := tracelog.BuildScheduleIndex(rec.Logs().Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := sched.Timestamps
+	if len(ts) < 2 {
+		t.Fatalf("got %d timestamp anchors, want at least initial + final", len(ts))
+	}
+	if ts[0].GC != 0 {
+		t.Errorf("initial anchor at counter %d, want 0", ts[0].GC)
+	}
+	if last := ts[len(ts)-1]; last.GC != sched.Meta.FinalGC {
+		t.Errorf("final anchor at counter %d, want FinalGC %d", last.GC, sched.Meta.FinalGC)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i].GC < ts[i-1].GC {
+			t.Errorf("anchor counters decrease: %d after %d", ts[i].GC, ts[i-1].GC)
+		}
+		if ts[i].Wall < ts[i-1].Wall {
+			t.Errorf("anchor wall clocks decrease: %d after %d", ts[i].Wall, ts[i-1].Wall)
+		}
+	}
+	// Cadence anchors land exactly on multiples of the sampling period.
+	for _, a := range ts[1 : len(ts)-1] {
+		if a.GC%every != 0 {
+			t.Errorf("cadence anchor at counter %d, want a multiple of %d", a.GC, every)
+		}
+	}
+	now := time.Now().UnixNano()
+	if ts[0].Wall <= 0 || ts[0].Wall > now {
+		t.Errorf("initial anchor wall %d outside (0, now=%d]", ts[0].Wall, now)
+	}
+
+	// Replay ignores the annotations entirely.
+	rep, err := NewVM(Config{ID: 80, Mode: ids.Replay, ReplayLogs: rec.Logs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Start(func(main *Thread) {
+		for i := 0; i < 10; i++ {
+			x.Set(main, int64(i))
+		}
+	})
+	rep.Wait()
+	rep.Close()
+	if got, want := rep.Stats().CriticalEvents, rec.Stats().CriticalEvents; got != want {
+		t.Errorf("replay executed %d events, record %d", got, want)
+	}
+}
+
+// TestTimestampModeErrors: the annotation switches are record-only and
+// validate their arguments.
+func TestTimestampModeErrors(t *testing.T) {
+	rep, err := NewVM(Config{ID: 81, Mode: ids.Passthrough})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	if err := rep.EnableTimestamps(4); err == nil {
+		t.Error("EnableTimestamps accepted a non-record VM")
+	}
+	if err := rep.EnableCausalTrace(); err == nil {
+		t.Error("EnableCausalTrace accepted a non-record VM")
+	}
+	rec, err := NewVM(Config{ID: 82, Mode: ids.Record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if err := rec.EnableTimestamps(0); err == nil {
+		t.Error("EnableTimestamps accepted period 0")
+	}
+}
+
+// TestDivergenceCarriesContext pins that a stall-detected divergence names
+// the counter it stalled at and the full parked-thread map — the inputs
+// WhyDiverged needs to walk the happens-before graph.
+func TestDivergenceCarriesContext(t *testing.T) {
+	var x SharedInt
+	rec, err := NewVM(Config{ID: 83, Mode: ids.Record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Start(func(main *Thread) {
+		x.Set(main, 1)
+		done := make(chan struct{})
+		main.Spawn(func(child *Thread) {
+			x.Set(child, 2)
+			close(done)
+		})
+		<-done
+		x.Set(main, 3)
+	})
+	rec.Wait()
+	rec.Close()
+
+	rep, err := NewVM(Config{
+		ID: 83, Mode: ids.Replay, ReplayLogs: rec.Logs(),
+		StallTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan any, 1)
+	rep.Start(func(main *Thread) {
+		defer func() { got <- recover() }()
+		x.Set(main, 1)
+		done := make(chan struct{})
+		main.Spawn(func(child *Thread) {
+			close(done) // skips its recorded event
+		})
+		<-done
+		x.Set(main, 3)
+	})
+	select {
+	case r := <-got:
+		de, ok := r.(*DivergenceError)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want *DivergenceError", r, r)
+		}
+		if len(de.Waiting) == 0 {
+			t.Fatal("stall divergence carries no parked-thread map")
+		}
+		want, ok := de.Waiting[de.Thread]
+		if !ok {
+			t.Fatalf("Waiting %v does not include the diverged thread %d", de.Waiting, de.Thread)
+		}
+		if ids.GCount(want) <= de.GC {
+			t.Errorf("thread waited for counter %d, not after the stall point %d", want, de.GC)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("watchdog did not fire")
+	}
+	rep.Wait()
+	rep.Close()
+}

@@ -111,6 +111,14 @@ type DivergenceError struct {
 	VM     ids.DJVMID
 	Thread ids.ThreadNum
 	Msg    string
+
+	// GC is the global counter value at the moment divergence was detected —
+	// the anchor the causal analyzer's WhyDiverged walks backwards from.
+	GC ids.GCount
+	// Waiting maps each parked thread to the counter value it was waiting
+	// for when the divergence was detected (nil when no threads were parked
+	// or the failure was not a stall).
+	Waiting map[ids.ThreadNum]ids.GCount
 }
 
 func (e *DivergenceError) Error() string {
@@ -118,7 +126,12 @@ func (e *DivergenceError) Error() string {
 }
 
 func (t *Thread) diverge(format string, args ...any) {
-	panic(&DivergenceError{VM: t.vm.id, Thread: t.num, Msg: fmt.Sprintf(format, args...)})
+	panic(&DivergenceError{
+		VM:     t.vm.id,
+		Thread: t.num,
+		Msg:    fmt.Sprintf(format, args...),
+		GC:     ids.GCount(t.vm.clock.Load()),
+	})
 }
 
 // replayLogEnd is the private panic signal a thread raises to abandon its
@@ -201,6 +214,9 @@ func (vm *VM) recordEvent(t *Thread, kind obs.EventKind, op func(gc ids.GCount))
 	t.extendIntervalLocked(gc)
 	if vm.noteEvery != 0 && (uint64(gc)+1)%vm.noteEvery == 0 {
 		vm.noteOpenIntervalsLocked()
+	}
+	if vm.tsEvery != 0 && (uint64(gc)+1)%vm.tsEvery == 0 {
+		vm.appendTimestampLocked(gc + 1)
 	}
 }
 
@@ -307,11 +323,15 @@ func (vm *VM) waitTurnLocked(t *Thread, next ids.GCount) {
 		if vm.stalled {
 			vm.parked.Add(-1)
 			vm.metrics.DecParked()
+			waiting := vm.waitingLocked()
+			waiting[t.num] = next // this thread is not in turnWaiters yet
 			panic(&DivergenceError{
 				VM:     vm.id,
 				Thread: t.num,
 				Msg: fmt.Sprintf("replay stalled at counter %d; this thread waits for counter %d (parked threads: %v)",
 					ids.GCount(vm.clock.Load()), next, vm.waitingLocked()),
+				GC:      ids.GCount(vm.clock.Load()),
+				Waiting: waiting,
 			})
 		}
 		vm.turnWaiters[next] = t

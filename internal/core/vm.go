@@ -173,6 +173,18 @@ type VM struct {
 	// crash recovery can credit coverage a parked thread has not flushed yet.
 	noteEvery uint64
 
+	// tsEvery is the sampled wall-clock timestamp cadence (critical events
+	// between stamps) when EnableTimestamps was called; 0 disables stamps.
+	// Stamps anchor counter values to wall time for post-mortem critical-path
+	// analysis; they carry no schedule semantics and replay skips them.
+	tsEvery uint64
+
+	// causalTrace enables net-span emission in the socket layer (record mode
+	// only): closed-world socket events additionally log the connection id,
+	// counter value, and stream byte offsets that the causal analyzer needs
+	// to reconstruct cross-VM message edges. Read only under vm.mu.
+	causalTrace bool
+
 	// stopAtLogEnd makes threads that exhaust their recorded schedule stop
 	// cleanly (crash-recovery replay); logEndStops counts them.
 	stopAtLogEnd bool
@@ -349,6 +361,55 @@ func (vm *VM) EnableWAL(path string, opts tracelog.WALOptions) error {
 		vm.noteEvery = tracelog.DefaultSyncEvery
 	}
 	return nil
+}
+
+// EnableTimestamps turns on sampled wall-clock timestamp records: every
+// `every` critical events the schedule log gains a ⟨GC, wall-nanos⟩ anchor,
+// plus one anchor immediately (at the current counter) and one at Close (at
+// the final counter). Record mode only; call before the first critical event
+// for full-run coverage. The stamps are advisory — replay ignores them, log
+// digests of the schedule's replay-relevant content are unaffected — and feed
+// the causal analyzer's critical-path and timeline reconstruction.
+func (vm *VM) EnableTimestamps(every int) error {
+	if vm.mode != ids.Record {
+		return fmt.Errorf("core: vm %d: EnableTimestamps in %v mode", vm.id, vm.mode)
+	}
+	if every <= 0 {
+		return fmt.Errorf("core: vm %d: EnableTimestamps cadence %d, want > 0", vm.id, every)
+	}
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	vm.tsEvery = uint64(every)
+	vm.appendTimestampLocked(ids.GCount(vm.clock.Load()))
+	return nil
+}
+
+// EnableCausalTrace turns on net-span annotations: closed-world socket events
+// additionally record the connection id they acted on, their global counter
+// value, and (for reads/writes) the application-stream byte range. These are
+// the correlation records the causal analyzer uses to build cross-VM message
+// edges; the base replay protocol neither needs nor reads them. Record mode
+// only; call before the first critical event.
+func (vm *VM) EnableCausalTrace() error {
+	if vm.mode != ids.Record {
+		return fmt.Errorf("core: vm %d: EnableCausalTrace in %v mode", vm.id, vm.mode)
+	}
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	vm.causalTrace = true
+	return nil
+}
+
+// CausalTraceLocked reports whether net-span emission is on. Callers hold
+// vm.mu — every record-phase emission point runs inside the GC-critical
+// section, so the flag needs no atomics.
+func (vm *VM) CausalTraceLocked() bool { return vm.causalTrace }
+
+// appendTimestampLocked logs a wall-clock anchor for counter value gc.
+// Caller holds vm.mu.
+func (vm *VM) appendTimestampLocked(gc ids.GCount) {
+	vm.logs.Schedule.Append(&tracelog.TimestampEntry{GC: gc, Wall: time.Now().UnixNano()})
+	vm.metrics.IncTimestamp()
 }
 
 // noteOpenIntervalsLocked appends an OpenInterval durability note for every
@@ -597,6 +658,11 @@ func (vm *VM) Close() {
 		close(vm.stopWatchdog)
 	}
 	if vm.mode == ids.Record {
+		if vm.tsEvery != 0 {
+			// Final anchor: ties FinalGC to wall time so interpolation covers
+			// the whole run even when the cadence never fired near the end.
+			vm.appendTimestampLocked(ids.GCount(vm.clock.Load()))
+		}
 		vm.logs.Schedule.Append(&tracelog.VMMeta{
 			VM:      vm.id,
 			World:   vm.world,

@@ -128,6 +128,27 @@ func (e *Env) logNetErr(eventID ids.NetworkEventID, op string, err error) {
 	})
 }
 
+// logNetSpan appends a causal-tracing annotation for a closed-world socket
+// event: the connection it acted on, its counter value, and (for data
+// transfer) the application-stream byte range. Called from inside the event's
+// mark — the GC-critical section — so spans land in the network log in
+// counter order and the causal-trace flag needs no atomics. No-op unless
+// EnableCausalTrace was called (record mode).
+func (e *Env) logNetSpan(eventID ids.NetworkEventID, gc ids.GCount, op uint8, conn ids.ConnectionID, off uint64, n int) {
+	if !e.vm.CausalTraceLocked() {
+		return
+	}
+	e.vm.Logs().Network.Append(&tracelog.NetSpanEntry{
+		EventID: eventID,
+		GC:      gc,
+		Op:      op,
+		Conn:    conn,
+		Offset:  off,
+		Len:     uint32(n),
+	})
+	e.vm.Metrics().IncNetSpan()
+}
+
 // replayErr looks up a recorded error for the event; ok reports whether one
 // was recorded.
 func (e *Env) replayErr(eventID ids.NetworkEventID) (error, bool) {

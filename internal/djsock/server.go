@@ -124,7 +124,7 @@ func (s *ServerSocket) Accept(t *core.Thread) (*Socket, error) {
 		if err != nil {
 			return nil, err
 		}
-		return newSocket(e, conn, true), nil
+		return newSocket(e, conn, true, ids.ConnectionID{}), nil
 	}
 
 	eventID := t.EventID(t.NextEventNum())
@@ -158,7 +158,7 @@ func (s *ServerSocket) acceptRecord(t *core.Thread, eventID ids.NetworkEventID) 
 			}
 			clientID = decodeMeta(meta)
 		}
-	}, func(ids.GCount) {
+	}, func(gc ids.GCount) {
 		switch {
 		case err != nil:
 			e.logNetErr(eventID, "accept", err)
@@ -167,6 +167,7 @@ func (s *ServerSocket) acceptRecord(t *core.Thread, eventID ids.NetworkEventID) 
 				ServerID: eventID,
 				ClientID: clientID,
 			})
+			e.logNetSpan(eventID, gc, tracelog.NetOpAccept, clientID, 0, 0)
 		default:
 			remote := conn.RemoteAddr()
 			e.vm.Logs().Network.Append(&tracelog.OpenAcceptEntry{
@@ -179,7 +180,7 @@ func (s *ServerSocket) acceptRecord(t *core.Thread, eventID ids.NetworkEventID) 
 	if err != nil {
 		return nil, err
 	}
-	return newSocket(e, conn, closedSc), nil
+	return newSocket(e, conn, closedSc, clientID), nil
 }
 
 func (s *ServerSocket) acceptReplay(t *core.Thread, eventID ids.NetworkEventID) (*Socket, error) {
@@ -244,7 +245,7 @@ func (s *ServerSocket) acceptReplay(t *core.Thread, eventID ids.NetworkEventID) 
 	if err != nil {
 		return nil, err
 	}
-	return newSocket(e, conn, true), nil
+	return newSocket(e, conn, true, want), nil
 }
 
 // AcceptTimeout is Accept with an SO_TIMEOUT-style deadline. A record-phase
@@ -263,7 +264,7 @@ func (s *ServerSocket) AcceptTimeout(t *core.Thread, d time.Duration) (*Socket, 
 		if err != nil {
 			return nil, mapTimeout(err)
 		}
-		return newSocket(e, conn, true), nil
+		return newSocket(e, conn, true, ids.ConnectionID{}), nil
 	}
 
 	eventID := t.EventID(t.NextEventNum())
@@ -291,7 +292,7 @@ func (s *ServerSocket) AcceptTimeout(t *core.Thread, d time.Duration) (*Socket, 
 				}
 				clientID = decodeMeta(meta)
 			}
-		}, func(ids.GCount) {
+		}, func(gc ids.GCount) {
 			switch {
 			case err != nil:
 				e.logNetErr(eventID, "accept", err)
@@ -300,6 +301,7 @@ func (s *ServerSocket) AcceptTimeout(t *core.Thread, d time.Duration) (*Socket, 
 					ServerID: eventID,
 					ClientID: clientID,
 				})
+				e.logNetSpan(eventID, gc, tracelog.NetOpAccept, clientID, 0, 0)
 			default:
 				remote := conn.RemoteAddr()
 				e.vm.Logs().Network.Append(&tracelog.OpenAcceptEntry{
@@ -312,7 +314,7 @@ func (s *ServerSocket) AcceptTimeout(t *core.Thread, d time.Duration) (*Socket, 
 		if err != nil {
 			return nil, err
 		}
-		return newSocket(e, conn, closedSc), nil
+		return newSocket(e, conn, closedSc, clientID), nil
 	}
 	// Replay: a recorded timeout re-throws via the error path inside
 	// acceptReplay; a recorded success replays through the connection pool.

@@ -27,14 +27,25 @@ type Socket struct {
 
 	local, remote netsim.Addr
 
+	// connID is the closed-world connection's identity (the client's
+	// connectionId meta frame) — shared by both endpoints of the connection,
+	// zero for open-world sockets. rdOff/wrOff count application bytes
+	// consumed/produced on this end; the meta frame bypasses Read/Write, so
+	// a writer's offsets and the peer reader's offsets describe the same
+	// stream positions. Both are only touched inside record-phase marks
+	// (under the GC-critical section) and only feed net-span emission.
+	connID       ids.ConnectionID
+	rdOff, wrOff uint64
+
 	rdLock, wrLock fdLock // Figure 3 FD-critical sections
 }
 
-func newSocket(e *Env, s *netsim.Stream, peerDJVM bool) *Socket {
+func newSocket(e *Env, s *netsim.Stream, peerDJVM bool, connID ids.ConnectionID) *Socket {
 	return &Socket{
 		env:      e,
 		stream:   s,
 		peerDJVM: peerDJVM,
+		connID:   connID,
 		local:    s.LocalAddr(),
 		remote:   s.RemoteAddr(),
 		rdLock:   fdLock{disabled: e.DisableFDLocks},
@@ -59,7 +70,7 @@ func (e *Env) Connect(t *core.Thread, addr netsim.Addr) (*Socket, error) {
 		if err != nil {
 			return nil, err
 		}
-		return newSocket(e, s, true), nil
+		return newSocket(e, s, true, ids.ConnectionID{}), nil
 	}
 
 	eventNum := t.NextEventNum()
@@ -82,7 +93,7 @@ func (e *Env) Connect(t *core.Thread, addr netsim.Addr) (*Socket, error) {
 			// constructor returns, guaranteeing it is the first data on the
 			// connection (§4.1.3).
 			_, err = s.Write(encodeMeta(connID))
-		}, func(ids.GCount) {
+		}, func(gc ids.GCount) {
 			switch {
 			case err != nil:
 				e.logNetErr(eventID, "connect", err)
@@ -94,12 +105,14 @@ func (e *Env) Connect(t *core.Thread, addr netsim.Addr) (*Socket, error) {
 					RemoteHost: remote.Host,
 					RemotePort: remote.Port,
 				})
+			default:
+				e.logNetSpan(eventID, gc, tracelog.NetOpConnect, connID, 0, 0)
 			}
 		})
 		if err != nil {
 			return nil, err
 		}
-		return newSocket(e, s, closedSc), nil
+		return newSocket(e, s, closedSc, connID), nil
 	}
 
 	// Replay.
@@ -136,7 +149,7 @@ func (e *Env) Connect(t *core.Thread, addr netsim.Addr) (*Socket, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newSocket(e, s, true), nil
+	return newSocket(e, s, true, connID), nil
 }
 
 // LocalAddr reports the socket's local endpoint.
@@ -168,7 +181,7 @@ func (s *Socket) Read(t *core.Thread, p []byte) (int, error) {
 		)
 		t.BlockingKind(obs.KindSocket, func() {
 			n, err = s.stream.Read(p)
-		}, func(ids.GCount) {
+		}, func(gc ids.GCount) {
 			switch {
 			case err == io.EOF:
 				s.logRead(eventID, nil, true)
@@ -176,6 +189,7 @@ func (s *Socket) Read(t *core.Thread, p []byte) (int, error) {
 				e.logNetErr(eventID, "read", err)
 			default:
 				s.logRead(eventID, p[:n], false)
+				s.spanData(eventID, gc, tracelog.NetOpRead, n)
 			}
 		})
 		return n, err
@@ -269,7 +283,7 @@ func (s *Socket) ReadTimeout(t *core.Thread, p []byte, d time.Duration) (int, er
 	t.BlockingKind(obs.KindSocket, func() {
 		n, err = s.stream.ReadTimeout(p, d)
 		err = mapTimeout(err)
-	}, func(ids.GCount) {
+	}, func(gc ids.GCount) {
 		switch {
 		case err == io.EOF:
 			s.logRead(eventID, nil, true)
@@ -277,9 +291,26 @@ func (s *Socket) ReadTimeout(t *core.Thread, p []byte, d time.Duration) (int, er
 			e.logNetErr(eventID, "read", err)
 		default:
 			s.logRead(eventID, p[:n], false)
+			s.spanData(eventID, gc, tracelog.NetOpRead, n)
 		}
 	})
 	return n, err
+}
+
+// spanData emits the causal net-span for one successful closed-world data
+// transfer and advances the direction's application-byte offset. Runs inside
+// the event's mark (GC-critical section), so per-socket offset updates are
+// serialized in the order the bytes were actually consumed/produced.
+func (s *Socket) spanData(eventID ids.NetworkEventID, gc ids.GCount, op uint8, n int) {
+	if !s.peerDJVM || n <= 0 {
+		return
+	}
+	off := &s.rdOff
+	if op == tracelog.NetOpWrite {
+		off = &s.wrOff
+	}
+	s.env.logNetSpan(eventID, gc, op, s.connID, *off, n)
+	*off += uint64(n)
 }
 
 // logRead logs a record-phase read's observable result: in the closed scheme
@@ -327,7 +358,7 @@ func (s *Socket) Write(t *core.Thread, p []byte) (int, error) {
 			n   int
 			err error
 		)
-		t.CriticalKind(obs.KindSocket, func(ids.GCount) {
+		t.CriticalKind(obs.KindSocket, func(gc ids.GCount) {
 			n, err = s.stream.Write(p)
 			switch {
 			case err != nil:
@@ -338,6 +369,8 @@ func (s *Socket) Write(t *core.Thread, p []byte) (int, error) {
 					Len:     uint32(len(p)),
 					Sum:     fnvSum(p),
 				})
+			default:
+				s.spanData(eventID, gc, tracelog.NetOpWrite, n)
 			}
 		})
 		return n, err

@@ -53,6 +53,12 @@ type Config struct {
 	// PrimaryWALSync is the WAL fsync cadence (tracelog.WALOptions.SyncEvery):
 	// 0 selects the default, negative syncs only on close.
 	PrimaryWALSync int
+	// CausalTrace, in record mode, turns on net-span annotations on every
+	// VM so the causal analyzer can reconstruct cross-VM message edges.
+	CausalTrace bool
+	// TimestampEvery, when > 0 in record mode, samples a wall-clock
+	// timestamp record on every VM each N critical events.
+	TimestampEvery int
 }
 
 // DefaultChaos is a moderately hostile network for the store.
@@ -107,10 +113,24 @@ func Run(cfg Config) (Result, RunLogs, error) {
 
 	net := netsim.NewNetwork(netsim.Config{Chaos: cfg.Chaos, Seed: cfg.Seed})
 	mkVM := func(id ids.DJVMID, logs *tracelog.Set) (*core.VM, error) {
-		return core.NewVM(core.Config{
+		vm, err := core.NewVM(core.Config{
 			ID: id, Mode: cfg.Mode, World: ids.ClosedWorld,
 			ReplayLogs: logs, RecordJitter: cfg.Jitter,
 		})
+		if err != nil || cfg.Mode != ids.Record {
+			return vm, err
+		}
+		if cfg.CausalTrace {
+			if err := vm.EnableCausalTrace(); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.TimestampEvery > 0 {
+			if err := vm.EnableTimestamps(cfg.TimestampEvery); err != nil {
+				return nil, err
+			}
+		}
+		return vm, nil
 	}
 
 	primaryVM, err := mkVM(1, logAt(0))

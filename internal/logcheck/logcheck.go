@@ -113,6 +113,16 @@ func checkSchedule(rep *Report, vm ids.DJVMID, sched *tracelog.ScheduleIndex) {
 			rep.addf(vm, "timed-wait record at counter %d beyond final counter %d", gc, sched.Meta.FinalGC)
 		}
 	}
+	var lastTS ids.GCount
+	for i, ts := range sched.Timestamps {
+		if ts.GC > sched.Meta.FinalGC {
+			rep.addf(vm, "timestamp record at counter %d beyond final counter %d", ts.GC, sched.Meta.FinalGC)
+		}
+		if i > 0 && ts.GC < lastTS {
+			rep.addf(vm, "timestamps out of order at counter %d", ts.GC)
+		}
+		lastTS = ts.GC
+	}
 	var lastCP ids.GCount
 	for i, cp := range sched.Checkpoints {
 		if cp.GC >= sched.Meta.FinalGC {
@@ -162,6 +172,17 @@ func checkNetwork(rep *Report, vm ids.DJVMID, sched *tracelog.ScheduleIndex, idx
 	}
 	for ev := range idx.Envs {
 		threadOK(ev, "env")
+	}
+	for ev, ns := range idx.NetSpans {
+		threadOK(ev, "net-span")
+		if ns.GC >= sched.Meta.FinalGC {
+			rep.addf(vm, "net-span %v at counter %d beyond final counter %d", ev, ns.GC, sched.Meta.FinalGC)
+		}
+		switch ns.Op {
+		case tracelog.NetOpConnect, tracelog.NetOpAccept, tracelog.NetOpRead, tracelog.NetOpWrite:
+		default:
+			rep.addf(vm, "net-span %v has unknown op %d", ev, ns.Op)
+		}
 	}
 }
 

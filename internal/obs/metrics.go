@@ -43,6 +43,12 @@ type Metrics struct {
 	peerUnreachable atomic.Uint64
 	logEndStops     atomic.Uint64
 
+	// Causal-tracing counters: sampled wall-clock timestamp records and
+	// net-span correlation records emitted into the logs (record mode with
+	// EnableTimestamps / EnableCausalTrace on).
+	timestamps atomic.Uint64
+	netSpans   atomic.Uint64
+
 	// histSampleRate is the 1-in-N latency sampling rate the VM applies to
 	// the two histograms below (see core.Config.ObsSampleRate). Event counts
 	// stay exact; only latency observation is sampled.
@@ -122,6 +128,12 @@ func (m *Metrics) IncPeerUnreachable() { m.peerUnreachable.Add(1) }
 // IncLogEndStop counts one replay thread stopping at the end of a truncated
 // recovered schedule.
 func (m *Metrics) IncLogEndStop() { m.logEndStops.Add(1) }
+
+// IncTimestamp counts one sampled wall-clock timestamp record.
+func (m *Metrics) IncTimestamp() { m.timestamps.Add(1) }
+
+// IncNetSpan counts one causal-tracing net-span record.
+func (m *Metrics) IncNetSpan() { m.netSpans.Add(1) }
 
 // SetClock moves the clock gauge (used at VM construction and resume).
 func (m *Metrics) SetClock(gc uint64) { m.clock.Store(gc) }

@@ -30,6 +30,10 @@ func WriteReport(w io.Writer, s Snapshot) {
 		s.Logs.Network.Bytes, s.Logs.Network.Appends,
 		s.Logs.Datagram.Bytes, s.Logs.Datagram.Appends,
 		s.Logs.TotalBytes())
+	if s.Causal.Timestamps > 0 || s.Causal.NetSpans > 0 {
+		fmt.Fprintf(w, "causal   timestamps %d  net-spans %d\n",
+			s.Causal.Timestamps, s.Causal.NetSpans)
+	}
 	writeHistLine(w, "turnwait", s.TurnWait)
 	writeHistLine(w, "gc-hold ", s.GCHold)
 }

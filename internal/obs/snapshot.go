@@ -95,6 +95,16 @@ type FaultCounts struct {
 	LogEndStops uint64 `json:"log_end_stops"`
 }
 
+// CausalCounts groups the causal-tracing counters: the optional correlation
+// records emitted for post-mortem happens-before reconstruction.
+type CausalCounts struct {
+	// Timestamps is sampled wall-clock anchor records emitted.
+	Timestamps uint64 `json:"timestamps"`
+	// NetSpans is net-span correlation records emitted for closed-world
+	// socket events.
+	NetSpans uint64 `json:"net_spans"`
+}
+
 // Snapshot is a consistent point-in-time view of one VM's metrics. Totals are
 // derived from the same atomic loads as the per-kind fields, so a snapshot is
 // internally consistent (TotalEvents always equals Events.Total()) even when
@@ -117,6 +127,9 @@ type Snapshot struct {
 	Replay ReplayProgress `json:"replay"`
 	// Faults is the fault-tolerance counter set (WAL, retries, recovery).
 	Faults FaultCounts `json:"faults"`
+	// Causal is the causal-tracing counter set (timestamp + net-span
+	// records emitted).
+	Causal CausalCounts `json:"causal"`
 	// HistSampleRate is the 1-in-N latency sampling rate behind TurnWait and
 	// GCHold: only events whose counter value is a multiple of N contributed
 	// a latency observation (counts elsewhere in the snapshot stay exact).
@@ -167,6 +180,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		ConnectRetries:  m.connectRetries.Load(),
 		PeerUnreachable: m.peerUnreachable.Load(),
 		LogEndStops:     m.logEndStops.Load(),
+	}
+	s.Causal = CausalCounts{
+		Timestamps: m.timestamps.Load(),
+		NetSpans:   m.netSpans.Load(),
 	}
 	s.HistSampleRate = m.histSampleRate.Load()
 	s.TurnWait = m.TurnWait.Snapshot()

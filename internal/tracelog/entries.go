@@ -85,6 +85,27 @@ const (
 	// torn-write recovery (repairSet) consumes them.
 	KindOpenInterval
 
+	// KindTimestamp is an optional wall-clock anchor in the schedule log:
+	// ⟨GC, Wall⟩ meaning "the global counter had value GC when the wall clock
+	// read Wall nanoseconds". Off by default; when enabled (core
+	// EnableTimestamps) one is emitted every N critical events, like the WAL's
+	// open-interval notes. Replay ignores them; the causal analyzer uses them
+	// to map counter values onto wall time (critical-path attribution,
+	// Perfetto timelines).
+	KindTimestamp
+
+	// KindNetSpan is an optional causal annotation in the network log,
+	// emitted alongside closed-world socket events when causal tracing is
+	// enabled (core EnableCausalTrace): the event's networkEventId, its
+	// global counter value, the operation, the connectionId it acted on, and
+	// — for reads/writes — the connection's per-direction byte offset and
+	// length. The base protocol deliberately records none of this (closed-
+	// world writes log nothing at all, §4.1.3), which is exactly why
+	// cross-VM happens-before edges cannot be reconstructed from the base
+	// logs; net-span records supply the missing correlation. Replay ignores
+	// them.
+	KindNetSpan
+
 	// New kinds must be appended here, never inserted above: kind values are
 	// part of the on-disk log format.
 	kindMax
@@ -110,6 +131,8 @@ var kindNames = [...]string{
 	KindCheckpoint:   "checkpoint",
 	KindTimedWait:    "timed-wait",
 	KindOpenInterval: "open-interval",
+	KindTimestamp:    "timestamp",
+	KindNetSpan:      "net-span",
 }
 
 func (k Kind) String() string {
@@ -629,7 +652,99 @@ func newEntry(k Kind) (Entry, error) {
 		return &CheckpointEntry{}, nil
 	case KindOpenInterval:
 		return &OpenInterval{}, nil
+	case KindTimestamp:
+		return &TimestampEntry{}, nil
+	case KindNetSpan:
+		return &NetSpanEntry{}, nil
 	default:
 		return nil, corruptf("unknown record kind %d", k)
 	}
+}
+
+// TimestampEntry anchors a global-counter value to the recorder's wall clock:
+// "the counter had value GC when the clock read Wall nanoseconds". Stamps are
+// sampled (every N critical events, plus anchors at enable time and at VM
+// close), so between anchors the GC→wall mapping is interpolated. Replay
+// skips these records entirely.
+type TimestampEntry struct {
+	GC   ids.GCount
+	Wall int64 // unix nanoseconds
+}
+
+func (ts *TimestampEntry) Kind() Kind { return KindTimestamp }
+
+func (ts *TimestampEntry) encode(e *enc) {
+	e.u64(uint64(ts.GC))
+	e.u64(uint64(ts.Wall))
+}
+
+func (ts *TimestampEntry) decode(d *dec) {
+	ts.GC = ids.GCount(d.u64())
+	ts.Wall = int64(d.u64())
+}
+
+// Network span operations recorded by NetSpanEntry.
+const (
+	NetOpConnect uint8 = iota + 1
+	NetOpAccept
+	NetOpRead
+	NetOpWrite
+)
+
+// NetOpName returns a stable human-readable name for a NetSpanEntry op.
+func NetOpName(op uint8) string {
+	switch op {
+	case NetOpConnect:
+		return "connect"
+	case NetOpAccept:
+		return "accept"
+	case NetOpRead:
+		return "read"
+	case NetOpWrite:
+		return "write"
+	default:
+		return "net-op?"
+	}
+}
+
+// NetSpanEntry annotates one closed-world socket event with the correlation
+// data the base protocol omits: which connection the event acted on, the
+// global counter value the event committed at, and — for data transfer — the
+// half-open application-byte range [Offset, Offset+Len) of the connection's
+// stream in that direction. Offsets count application bytes only (the
+// connectionId meta frame bypasses the socket layer), so a writer's offsets
+// and the peer reader's offsets describe the same stream and align exactly.
+type NetSpanEntry struct {
+	EventID ids.NetworkEventID
+	GC      ids.GCount
+	Op      uint8
+	Conn    ids.ConnectionID
+	Offset  uint64 // first app-stream byte covered; 0 for connect/accept
+	Len     uint32 // bytes transferred; 0 for connect/accept
+}
+
+func (ns *NetSpanEntry) Kind() Kind { return KindNetSpan }
+
+func (ns *NetSpanEntry) encode(e *enc) {
+	e.u32(uint32(ns.EventID.Thread))
+	e.u32(uint32(ns.EventID.Event))
+	e.u64(uint64(ns.GC))
+	e.u8(ns.Op)
+	e.u32(uint32(ns.Conn.VM))
+	e.u32(uint32(ns.Conn.Thread))
+	e.u32(uint32(ns.Conn.Event))
+	e.u64(ns.Offset)
+	e.u32(ns.Len)
+}
+
+func (ns *NetSpanEntry) decode(d *dec) {
+	ns.EventID.Thread = ids.ThreadNum(d.u32())
+	ns.EventID.Event = ids.EventNum(d.u32())
+	ns.GC = ids.GCount(d.u64())
+	ns.Op = d.u8()
+	ns.Conn.VM = ids.DJVMID(d.u32())
+	ns.Conn.Thread = ids.ThreadNum(d.u32())
+	ns.Conn.Event = ids.EventNum(d.u32())
+	ns.Offset = d.u64()
+	ns.Len = d.u32()
 }

@@ -16,6 +16,9 @@ type ScheduleIndex struct {
 	Notifies    map[ids.GCount][]ids.ThreadNum
 	TimedWaits  map[ids.GCount]TimedWaitEntry
 	Checkpoints []CheckpointEntry
+	// Timestamps are the optional sampled wall-clock anchors, in append
+	// (hence GC) order. Replay never consults them; the causal analyzer does.
+	Timestamps []TimestampEntry
 }
 
 // The Build*Index functions decode the byte stream directly into the index
@@ -111,6 +114,15 @@ func BuildScheduleIndex(l *Log) (*ScheduleIndex, error) {
 			if err := recErr(d, k); err != nil {
 				return nil, err
 			}
+		case KindTimestamp:
+			// Optional wall-clock anchors; replay ignores them, analysis
+			// reads them through the index.
+			var v TimestampEntry
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
+			idx.Timestamps = append(idx.Timestamps, v)
 		default:
 			return nil, unexpectedRecord(k, "schedule")
 		}
@@ -142,6 +154,9 @@ type NetworkIndex struct {
 	OpenWrites    map[ids.NetworkEventID]OpenWriteEntry
 	OpenDatagrams map[ids.NetworkEventID]OpenDatagramEntry
 	Envs          map[ids.NetworkEventID]EnvEntry
+	// NetSpans holds the optional causal-tracing annotations keyed by the
+	// annotated event's id. Replay never consults them.
+	NetSpans map[ids.NetworkEventID]NetSpanEntry
 }
 
 // dupError reports two log entries claiming the same network event.
@@ -170,6 +185,7 @@ func BuildNetworkIndex(l *Log) (*NetworkIndex, error) {
 		OpenWrites:    make(map[ids.NetworkEventID]OpenWriteEntry),
 		OpenDatagrams: make(map[ids.NetworkEventID]OpenDatagramEntry),
 		Envs:          make(map[ids.NetworkEventID]EnvEntry),
+		NetSpans:      make(map[ids.NetworkEventID]NetSpanEntry),
 	}
 	d := &dec{buf: l.snapshot()}
 	for !d.done() {
@@ -272,6 +288,16 @@ func BuildNetworkIndex(l *Log) (*NetworkIndex, error) {
 				return nil, dupError{KindEnv}
 			}
 			idx.Envs[v.EventID] = v
+		case KindNetSpan:
+			var v NetSpanEntry
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
+			if _, ok := idx.NetSpans[v.EventID]; ok {
+				return nil, dupError{KindNetSpan}
+			}
+			idx.NetSpans[v.EventID] = v
 		default:
 			return nil, unexpectedRecord(k, "network")
 		}

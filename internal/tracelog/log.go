@@ -107,6 +107,39 @@ func (l *Log) Entries() ([]Entry, error) {
 	return Parse(l.snapshot())
 }
 
+// Each decodes the log one record at a time in append order, invoking fn for
+// each entry. Unlike Entries it never materializes the full slice, so memory
+// stays O(largest record) regardless of log size — the graph builder and
+// djtrace stream multi-gigabyte logs through it. Each entry passed to fn is
+// freshly allocated; fn may retain it. A non-nil error from fn stops the walk
+// and is returned as-is.
+func (l *Log) Each(fn func(Entry) error) error {
+	return EachEntry(l.snapshot(), fn)
+}
+
+// EachEntry is Each over a raw encoded stream.
+func EachEntry(data []byte, fn func(Entry) error) error {
+	d := &dec{buf: data}
+	for !d.done() {
+		k := Kind(d.u8())
+		if d.err != nil {
+			return d.err
+		}
+		e, err := newEntry(k)
+		if err != nil {
+			return err
+		}
+		e.decode(d)
+		if d.err != nil {
+			return fmt.Errorf("%w: decoding %v record at offset %d", ErrCorrupt, k, d.off)
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SaveFile writes the encoded log to path, creating parent directories. The
 // stream is written straight from the log's buffer under its lock, with no
 // intermediate copy.

@@ -503,6 +503,14 @@ func repairSet(s *Set, rep *RecoveryReport) error {
 				rep.DroppedSchedule++
 				continue
 			}
+		case *TimestampEntry:
+			// Timestamp GCs range over [0, FinalGC] (the stamp records the
+			// counter value after the stamped event), so a stamp at exactly k
+			// is still consistent with the recovered prefix.
+			if v.GC > k {
+				rep.DroppedSchedule++
+				continue
+			}
 		case *VMMeta:
 			// Header already appended; the synthesized final meta appended
 			// below wins in BuildScheduleIndex (last meta wins).
@@ -578,6 +586,8 @@ func maxThreadRef(l *Log) (ids.ThreadNum, error) {
 		case *NetErrEntry:
 			upd(v.EventID.Thread)
 		case *DatagramRecvEntry:
+			upd(v.EventID.Thread)
+		case *NetSpanEntry:
 			upd(v.EventID.Thread)
 		case *OpenConnectEntry:
 			upd(v.EventID.Thread)
