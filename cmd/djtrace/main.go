@@ -322,6 +322,16 @@ func render(e tracelog.Entry) string {
 			v.EventID, v.SourceHost, v.SourcePort, len(v.Data))
 	case *tracelog.EnvEntry:
 		return fmt.Sprintf("env           %v op=%s value=%d", v.EventID, v.Op, v.Value)
+	case *tracelog.OrderModeEntry:
+		return fmt.Sprintf("order-mode    %v", v.Mode)
+	case *tracelog.ObjRun:
+		return fmt.Sprintf("obj-run       %v thread=%d [%d,%d] (%d accesses)",
+			v.Obj, v.Thread, v.First, v.Last, uint64(v.Last-v.First)+1)
+	case *tracelog.ObjNotify:
+		return fmt.Sprintf("obj-notify    %v seq=%d woken=%v", v.Obj, v.Seq, v.Woken)
+	case *tracelog.ObjTimedWait:
+		return fmt.Sprintf("obj-timed-wait %v seq=%d check=%v timedOut=%v",
+			v.Obj, v.Seq, v.Check, v.TimedOut)
 	default:
 		return fmt.Sprintf("%v", e.Kind())
 	}

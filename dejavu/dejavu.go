@@ -67,6 +67,10 @@ type (
 	Mode = ids.Mode
 	// World selects the closed/open/mixed-world network scheme.
 	World = ids.World
+	// OrderMode selects how a node orders critical events: one global
+	// counter (OrderGlobal) or one counter per registered object
+	// (OrderSharded). See Config.OrderMode.
+	OrderMode = ids.OrderMode
 
 	// Thread is one application thread of a node.
 	Thread = core.Thread
@@ -145,6 +149,9 @@ type (
 	// FaultCounts groups a snapshot's fault-tolerance counters (WAL syncs,
 	// connect retries, unreachable peers, log-end stops).
 	FaultCounts = obs.FaultCounts
+	// ShardCounts groups a snapshot's sharded-order counters (fast-path vs.
+	// contended per-object acquisitions, access runs logged).
+	ShardCounts = obs.ShardCounts
 
 	// CausalGraph is the reconstructed cross-VM happens-before graph of a
 	// recorded world. See Analyze.
@@ -188,6 +195,17 @@ const (
 	// Passthrough runs with no recording or enforcement — the plain-JVM
 	// baseline used for overhead measurements.
 	Passthrough = ids.Passthrough
+)
+
+// Order modes.
+const (
+	// OrderGlobal is the paper's scheme: one global counter totally orders
+	// every critical event of the node. The default.
+	OrderGlobal = ids.OrderGlobal
+	// OrderSharded records a per-object access order for registered shared
+	// objects instead, so threads touching disjoint objects record and
+	// replay concurrently. See Config.OrderMode and Node.RegisterObjects.
+	OrderSharded = ids.OrderSharded
 )
 
 // World configurations.
@@ -258,6 +276,17 @@ type Config struct {
 	// ConnectRetry bounds the redial loop Connect applies to transient
 	// failures (refused, timed out). The zero value disables retries.
 	ConnectRetry RetryPolicy
+	// OrderMode selects how the node orders critical events. OrderGlobal
+	// (the zero value) totally orders every critical event through one
+	// global counter. OrderSharded instead records a per-object access
+	// order for the shared objects the application enrolls via
+	// Node.RegisterObjects — threads touching disjoint objects then record
+	// and replay concurrently, while unregistered objects and network/
+	// environment/thread events keep the global mechanism. A replay node's
+	// OrderMode must match the recording's, and the debugger/analysis
+	// extensions that need one total order (EventObserver, Resume, WAL,
+	// timestamps, causal tracing) reject OrderSharded with a clear error.
+	OrderMode OrderMode
 	// ObsSampleRate controls 1-in-N sampling of the latency histograms
 	// (GC-hold, turn-wait): only events whose counter value is a multiple of
 	// N are timed, so the common-case critical event performs no time.Now
@@ -301,6 +330,7 @@ func NewNode(cfg Config) (*Node, error) {
 		StallTimeout:  cfg.StallTimeout,
 		StopAtLogEnd:  cfg.StopAtLogEnd,
 		EventObserver: cfg.EventObserver,
+		OrderMode:     cfg.OrderMode,
 		ObsSampleRate: cfg.ObsSampleRate,
 	})
 	if err != nil {
@@ -315,6 +345,22 @@ func NewNode(cfg Config) (*Node, error) {
 		env:  djenv.New(vm),
 	}, nil
 }
+
+// RegisterObjects enrolls shared objects (*SharedInt, *SharedVar[T],
+// *Monitor) for per-object order tracking under OrderSharded. Outside sharded
+// mode it is a free no-op, so applications can register unconditionally and
+// select the mode in the config. Registration order is the objects' identity
+// across record and replay: register the same objects, in the same order,
+// before starting the threads that access them. Registering an object twice
+// panics.
+func (n *Node) RegisterObjects(objs ...interface{ Register(*core.VM) }) {
+	for _, o := range objs {
+		o.Register(n.vm)
+	}
+}
+
+// OrderMode reports the node's configured order mode.
+func (n *Node) OrderMode() OrderMode { return n.vm.OrderMode() }
 
 // Start launches the node's initial thread running fn.
 func (n *Node) Start(fn func(t *Thread)) { n.vm.Start(fn) }

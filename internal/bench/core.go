@@ -28,6 +28,9 @@ type CoreRow struct {
 	Workload string `json:"workload"`
 	Threads  int    `json:"threads,omitempty"`
 	Mode     string `json:"mode"`
+	// Order is the order mode of "disjoint-obj" rows ("global"/"sharded");
+	// empty for workloads that only run under the global order.
+	Order string `json:"order,omitempty"`
 
 	// Macro-row fields.
 	Events        uint64  `json:"events,omitempty"`
@@ -50,9 +53,14 @@ type CoreMeta struct {
 	GoVersion string `json:"go_version"`
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
-	CPUs      int    `json:"cpus"`
-	Reps      int    `json:"reps"`
-	Date      string `json:"date"`
+	// CPUs is the machine's core count (runtime.NumCPU); GOMAXPROCS is how
+	// many of them Go was allowed to use (runtime.GOMAXPROCS(0)). Scaling
+	// rows — thread counts above GOMAXPROCS, or sharded-vs-global
+	// comparisons — are only meaningful relative to GOMAXPROCS.
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Reps       int    `json:"reps"`
+	Date       string `json:"date"`
 }
 
 // CoreReport is the BENCH_core.json document.
@@ -258,15 +266,19 @@ func MergeCoreFile(path, label string, rows []CoreRow, reps int) error {
 		if a.Mode != b.Mode {
 			return a.Mode < b.Mode
 		}
+		if a.Order != b.Order {
+			return a.Order < b.Order
+		}
 		return a.Label < b.Label
 	})
 	report.Meta[label] = CoreMeta{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		Reps:      reps,
-		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Reps:       reps,
+		Date:       time.Now().UTC().Format("2006-01-02"),
 	}
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

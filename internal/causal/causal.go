@@ -259,6 +259,13 @@ func Build(sets []*tracelog.Set) (*Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("causal: schedule log: %w", err)
 		}
+		if sched.OrderMode != ids.OrderGlobal {
+			// Sharded logs order events per object, not by one global counter;
+			// there is no total intra-VM order to segment, so the graph this
+			// package builds does not exist for them.
+			return nil, fmt.Errorf("causal: vm %d was recorded with %v order mode, which has no global event order; record with OrderGlobal for causal analysis",
+				sched.Meta.VM, sched.OrderMode)
+		}
 		net, err := tracelog.BuildNetworkIndex(set.Network)
 		if err != nil {
 			return nil, fmt.Errorf("causal: vm %d: network log: %w", sched.Meta.VM, err)

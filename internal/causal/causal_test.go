@@ -1,6 +1,7 @@
 package causal
 
 import (
+	"strings"
 	"sync"
 	"testing"
 
@@ -124,6 +125,24 @@ func TestBuildRejectsCycle(t *testing.T) {
 	})
 	if _, err := Build([]*tracelog.Set{a, b}); err == nil {
 		t.Fatal("Build accepted mutually-inconsistent log sets")
+	}
+}
+
+// TestBuildRejectsShardedLogs: a sharded-order log set has no single global
+// event order, so causal reconstruction must refuse it with a pointer to the
+// fix rather than build a graph missing intra-VM edges.
+func TestBuildRejectsShardedLogs(t *testing.T) {
+	set := mkSet(1, 0, 2, func(s *tracelog.Set) {
+		s.Schedule.Append(&tracelog.OrderModeEntry{Mode: ids.OrderSharded})
+		s.Schedule.Append(&tracelog.ObjRun{Obj: 0, Thread: 0, First: 0, Last: 4})
+		s.Schedule.Append(&tracelog.ObjRun{Obj: 1, Thread: 1, First: 0, Last: 4})
+	})
+	_, err := Build([]*tracelog.Set{set})
+	if err == nil {
+		t.Fatal("Build accepted a sharded-order log set")
+	}
+	if !strings.Contains(err.Error(), "record with OrderGlobal") {
+		t.Errorf("error %q does not tell the user to record with OrderGlobal", err)
 	}
 }
 

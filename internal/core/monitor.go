@@ -32,6 +32,7 @@ type Monitor struct {
 	holder  ids.ThreadNum
 	queue   []*parked // threads blocked in Enter, FIFO
 	waiters []*parked // the wait set, FIFO
+	shard   *objState // non-nil after Register on a sharded VM
 }
 
 // parked is one thread blocked on the monitor, woken by closing ch.
@@ -61,8 +62,33 @@ func NewMonitor() *Monitor {
 func (m *Monitor) lock()   { <-m.lk }
 func (m *Monitor) unlock() { m.lk <- struct{}{} }
 
+// Register enrolls the monitor for sharded order recording on vm: its
+// critical events are then ordered by the monitor's own access counter
+// instead of the global clock. See SharedInt.Register for the determinism
+// contract. Unregistered monitors (including runtime-internal ones like a
+// Barrier's) fall back to the global mechanism even in sharded mode.
+func (m *Monitor) Register(vm *VM) {
+	if m.shard != nil {
+		panic("core: Monitor registered twice")
+	}
+	m.shard = vm.registerObject()
+}
+
+// shardFor reports the object-order state when thread t's VM shards this
+// monitor, nil when its events must use the global mechanism.
+func (m *Monitor) shardFor(t *Thread) *objState {
+	if o := m.shard; o != nil && o.vm == t.vm {
+		return o
+	}
+	return nil
+}
+
 // Enter acquires the monitor (monitorenter).
 func (m *Monitor) Enter(t *Thread) {
+	if o := m.shardFor(t); o != nil {
+		t.blockingObj(o, obs.KindMonitorEnter, func() { m.acquire(t.num) }, func(ids.AccessSeq) {})
+		return
+	}
 	t.BlockingKind(obs.KindMonitorEnter, func() { m.acquire(t.num) }, func(ids.GCount) {})
 }
 
@@ -86,6 +112,10 @@ func (m *Monitor) acquire(tn ids.ThreadNum) {
 
 // Exit releases the monitor (monitorexit).
 func (m *Monitor) Exit(t *Thread) {
+	if o := m.shardFor(t); o != nil {
+		t.criticalObj(o, obs.KindMonitorExit, func(ids.AccessSeq) { m.release(t, "monitorexit") })
+		return
+	}
 	t.CriticalKind(obs.KindMonitorExit, func(ids.GCount) { m.release(t, "monitorexit") })
 }
 
@@ -119,9 +149,7 @@ func (m *Monitor) Holder() (ids.ThreadNum, bool) {
 // (minus timeouts and spurious wakeups).
 func (m *Monitor) Wait(t *Thread) {
 	var p *parked
-	// First critical event: move self to the wait set and release the
-	// monitor, atomically with the counter tick.
-	t.CriticalKind(obs.KindWait, func(ids.GCount) {
+	enterWait := func() {
 		m.lock()
 		if !m.held || m.holder != t.num {
 			m.unlock()
@@ -131,7 +159,17 @@ func (m *Monitor) Wait(t *Thread) {
 		m.waiters = append(m.waiters, p)
 		m.unlock()
 		m.release(t, "wait")
-	})
+	}
+	if o := m.shardFor(t); o != nil {
+		// Same two-event structure, ordered by the monitor's own counter.
+		t.criticalObj(o, obs.KindWait, func(ids.AccessSeq) { enterWait() })
+		<-p.ch
+		t.blockingObj(o, obs.KindWait, func() { m.acquire(t.num) }, func(ids.AccessSeq) {})
+		return
+	}
+	// First critical event: move self to the wait set and release the
+	// monitor, atomically with the counter tick.
+	t.CriticalKind(obs.KindWait, func(ids.GCount) { enterWait() })
 	// Block outside any critical section until a notify picks us.
 	<-p.ch
 	// Second critical event: re-acquire the monitor. Counter assigned at
@@ -156,6 +194,9 @@ func (m *Monitor) TimedWait(t *Thread, d time.Duration) (timedOut bool) {
 	vm := t.vm
 	if vm.Mode() == ids.Passthrough {
 		return m.timedWaitPassthrough(t, d)
+	}
+	if o := m.shardFor(t); o != nil {
+		return m.timedWaitSharded(t, o, d)
 	}
 
 	var (
@@ -226,6 +267,79 @@ func (m *Monitor) TimedWait(t *Thread, d time.Duration) (timedOut bool) {
 	return entry.TimedOut
 }
 
+// timedWaitSharded is TimedWait ordered by the monitor's own access counter:
+// the same timer-vs-notify race resolution, with the ObjTimedWait record
+// keyed by ⟨object, wait-enter accessSeq⟩ instead of a global counter value.
+func (m *Monitor) timedWaitSharded(t *Thread, o *objState, d time.Duration) (timedOut bool) {
+	vm := t.vm
+	var (
+		p  *parked
+		c0 ids.AccessSeq
+	)
+	enter := func(seq ids.AccessSeq) {
+		c0 = seq
+		m.lock()
+		if !m.held || m.holder != t.num {
+			m.unlock()
+			panic(&MonitorStateError{Op: "timed-wait", Thread: t.num})
+		}
+		p = &parked{t: t.num, ch: make(chan struct{})}
+		m.waiters = append(m.waiters, p)
+		m.unlock()
+		m.release(t, "timed-wait")
+	}
+
+	if vm.mode == ids.Record {
+		t.criticalObj(o, obs.KindWait, enter)
+		timer := time.NewTimer(d)
+		check := false
+		select {
+		case <-p.ch:
+			timer.Stop()
+		case <-timer.C:
+			check = true
+			t.criticalObj(o, obs.KindWait, func(ids.AccessSeq) {
+				m.lock()
+				timedOut = m.removeParked(p)
+				m.unlock()
+			})
+			if !timedOut {
+				// A notify won the race and will signal (or already has).
+				<-p.ch
+			}
+		}
+		vm.logs.Schedule.Append(&tracelog.ObjTimedWait{Obj: o.id, Seq: c0, Check: check, TimedOut: timedOut})
+		t.blockingObj(o, obs.KindWait, func() { m.acquire(t.num) }, func(ids.AccessSeq) {})
+		return timedOut
+	}
+
+	// Replay.
+	t.criticalObj(o, obs.KindWait, enter)
+	entry, ok := vm.schedIdx.ObjTimedWaits[tracelog.ObjEvent{Obj: o.id, Seq: c0}]
+	if !ok {
+		t.diverge("timed wait entered at %v access %d has no recorded resolution", o.id, c0)
+	}
+	if entry.Check {
+		t.criticalObj(o, obs.KindWait, func(ids.AccessSeq) {
+			if entry.TimedOut {
+				m.lock()
+				if !m.removeParked(p) {
+					m.unlock()
+					t.diverge("timed wait at %v access %d recorded a timeout but the waiter was already woken", o.id, c0)
+				}
+				m.unlock()
+			}
+			// Recorded as notified-despite-timer: the check found nothing;
+			// the replayed notify (ordered by the object counter) signals p.ch.
+		})
+	}
+	if !entry.TimedOut {
+		<-p.ch
+	}
+	t.blockingObj(o, obs.KindWait, func() { m.acquire(t.num) }, func(ids.AccessSeq) {})
+	return entry.TimedOut
+}
+
 // timedWaitPassthrough is the uninstrumented semantics.
 func (m *Monitor) timedWaitPassthrough(t *Thread, d time.Duration) bool {
 	m.lock()
@@ -277,6 +391,34 @@ func (m *Monitor) NotifyAll(t *Thread) { m.notify(t, true) }
 
 func (m *Monitor) notify(t *Thread, all bool) {
 	vm := t.vm
+	if o := m.shardFor(t); o != nil {
+		t.criticalObj(o, obs.KindNotify, func(seq ids.AccessSeq) {
+			m.lock()
+			if !m.held || m.holder != t.num {
+				m.unlock()
+				panic(&MonitorStateError{Op: "notify", Thread: t.num})
+			}
+			var woken []ids.ThreadNum
+			if vm.mode == ids.Replay {
+				for _, tn := range vm.schedIdx.ObjNotifies[tracelog.ObjEvent{Obj: o.id, Seq: seq}] {
+					p := m.takeWaiter(tn)
+					if p == nil {
+						m.unlock()
+						t.diverge("notify at %v access %d expected thread %d in wait set", o.id, seq, tn)
+					}
+					close(p.ch)
+					woken = append(woken, tn)
+				}
+			} else {
+				woken = m.wakeFIFOLocked(all)
+			}
+			m.unlock()
+			if vm.mode == ids.Record && len(woken) > 0 {
+				vm.logs.Schedule.Append(&tracelog.ObjNotify{Obj: o.id, Seq: seq, Woken: woken})
+			}
+		})
+		return
+	}
 	t.CriticalKind(obs.KindNotify, func(gc ids.GCount) {
 		m.lock()
 		if !m.held || m.holder != t.num {
@@ -295,22 +437,30 @@ func (m *Monitor) notify(t *Thread, all bool) {
 				woken = append(woken, tn)
 			}
 		} else {
-			k := 1
-			if all {
-				k = len(m.waiters)
-			}
-			for i := 0; i < k && len(m.waiters) > 0; i++ {
-				p := m.waiters[0]
-				m.waiters = m.waiters[1:]
-				close(p.ch)
-				woken = append(woken, p.t)
-			}
+			woken = m.wakeFIFOLocked(all)
 		}
 		m.unlock()
 		if vm.mode == ids.Record && len(woken) > 0 {
 			vm.logs.Schedule.Append(&tracelog.Notify{GC: gc, Woken: woken})
 		}
 	})
+}
+
+// wakeFIFOLocked wakes the head of the wait set (or all of it), reporting who
+// was woken — the record/passthrough wake policy. Caller holds the state lock.
+func (m *Monitor) wakeFIFOLocked(all bool) []ids.ThreadNum {
+	var woken []ids.ThreadNum
+	k := 1
+	if all {
+		k = len(m.waiters)
+	}
+	for i := 0; i < k && len(m.waiters) > 0; i++ {
+		p := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		close(p.ch)
+		woken = append(woken, p.t)
+	}
+	return woken
 }
 
 // takeWaiter removes and returns the wait-set entry for thread tn, or nil.

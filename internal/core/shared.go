@@ -15,7 +15,31 @@ import (
 // accesses do. In passthrough mode accesses compile down to plain atomics,
 // modeling the unmodified JVM.
 type SharedInt struct {
-	v int64
+	v     int64
+	shard *objState // non-nil after Register on a sharded VM
+}
+
+// Register enrolls the variable for sharded order recording on vm (see
+// Config.OrderMode). Outside sharded mode it is a no-op, so applications can
+// register unconditionally and select the mode in the config. Registration
+// must happen in a deterministic order — identical in the record and replay
+// runs, before the threads that access the object start — because the
+// object's identity across phases is its registration rank. Registering the
+// same object twice panics.
+func (s *SharedInt) Register(vm *VM) {
+	if s.shard != nil {
+		panic("core: SharedInt registered twice")
+	}
+	s.shard = vm.registerObject()
+}
+
+// shardFor reports the object-order state when thread t's VM shards this
+// variable, nil when the access must use the global mechanism.
+func (s *SharedInt) shardFor(t *Thread) *objState {
+	if o := s.shard; o != nil && o.vm == t.vm {
+		return o
+	}
+	return nil
 }
 
 // Get reads the variable as a critical event of thread t.
@@ -26,6 +50,10 @@ func (s *SharedInt) Get(t *Thread) int64 {
 		return v
 	}
 	var out int64
+	if o := s.shardFor(t); o != nil {
+		t.criticalObj(o, obs.KindShared, func(ids.AccessSeq) { out = s.v })
+		return out
+	}
 	t.CriticalKind(obs.KindShared, func(ids.GCount) { out = s.v })
 	return out
 }
@@ -35,6 +63,10 @@ func (s *SharedInt) Set(t *Thread, v int64) {
 	if t.vm.mode == ids.Passthrough {
 		atomic.StoreInt64(&s.v, v)
 		t.maybeYield()
+		return
+	}
+	if o := s.shardFor(t); o != nil {
+		t.criticalObj(o, obs.KindShared, func(ids.AccessSeq) { s.v = v })
 		return
 	}
 	t.CriticalKind(obs.KindShared, func(ids.GCount) { s.v = v })
@@ -51,6 +83,13 @@ func (s *SharedInt) Add(t *Thread, delta int64) int64 {
 		return v
 	}
 	var out int64
+	if o := s.shardFor(t); o != nil {
+		t.criticalObj(o, obs.KindShared, func(ids.AccessSeq) {
+			s.v += delta
+			out = s.v
+		})
+		return out
+	}
 	t.CriticalKind(obs.KindShared, func(ids.GCount) {
 		s.v += delta
 		out = s.v
@@ -78,8 +117,27 @@ func (s *SharedInt) Load() int64 {
 // SharedVar is a shared variable of arbitrary type with critical-event access
 // semantics. The zero value holds the zero value of T.
 type SharedVar[T any] struct {
-	mu sync.Mutex // passthrough-mode atomicity only
-	v  T
+	mu    sync.Mutex // passthrough-mode atomicity only
+	v     T
+	shard *objState // non-nil after Register on a sharded VM
+}
+
+// Register enrolls the variable for sharded order recording on vm; see
+// SharedInt.Register for the determinism contract.
+func (s *SharedVar[T]) Register(vm *VM) {
+	if s.shard != nil {
+		panic("core: SharedVar registered twice")
+	}
+	s.shard = vm.registerObject()
+}
+
+// shardFor reports the object-order state when thread t's VM shards this
+// variable, nil when the access must use the global mechanism.
+func (s *SharedVar[T]) shardFor(t *Thread) *objState {
+	if o := s.shard; o != nil && o.vm == t.vm {
+		return o
+	}
+	return nil
 }
 
 // Get reads the variable as a critical event of thread t.
@@ -92,6 +150,10 @@ func (s *SharedVar[T]) Get(t *Thread) T {
 		return v
 	}
 	var out T
+	if o := s.shardFor(t); o != nil {
+		t.criticalObj(o, obs.KindShared, func(ids.AccessSeq) { out = s.v })
+		return out
+	}
 	t.CriticalKind(obs.KindShared, func(ids.GCount) { out = s.v })
 	return out
 }
@@ -103,6 +165,10 @@ func (s *SharedVar[T]) Set(t *Thread, v T) {
 		s.v = v
 		s.mu.Unlock()
 		t.maybeYield()
+		return
+	}
+	if o := s.shardFor(t); o != nil {
+		t.criticalObj(o, obs.KindShared, func(ids.AccessSeq) { s.v = v })
 		return
 	}
 	t.CriticalKind(obs.KindShared, func(ids.GCount) { s.v = v })
@@ -136,6 +202,13 @@ func (s *SharedVar[T]) Update(t *Thread, fn func(T) T) T {
 		return v
 	}
 	var out T
+	if o := s.shardFor(t); o != nil {
+		t.criticalObj(o, obs.KindShared, func(ids.AccessSeq) {
+			s.v = fn(s.v)
+			out = s.v
+		})
+		return out
+	}
 	t.CriticalKind(obs.KindShared, func(ids.GCount) {
 		s.v = fn(s.v)
 		out = s.v

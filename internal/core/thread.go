@@ -54,6 +54,14 @@ type Thread struct {
 	// touches it; zero means unseeded.
 	rng uint64
 
+	// progSeq counts this thread's sharded-mode critical events in program
+	// order — the lock-free thread-local counter of the DOR scheme. Only the
+	// owning goroutine touches it; with per-object counters replacing the
+	// global clock it is the per-thread coordinate of an event (the pair
+	// ⟨object accessSeq, thread progSeq⟩ locates a sharded event the way a
+	// GCount locates a global one), surfaced in divergence diagnostics.
+	progSeq uint64
+
 	// done is closed when the thread's function returns (after its final
 	// interval is flushed); Join blocks on it.
 	done chan struct{}
@@ -102,6 +110,11 @@ func (t *Thread) EventID(ev ids.EventNum) ids.NetworkEventID {
 // number. The checkpoint layer records it so a resumed replay continues the
 // thread's event numbering where the record phase left off.
 func (t *Thread) CurrentEventNum() ids.EventNum { return t.eventNum }
+
+// ProgramOrder reports how many sharded-mode critical events this thread has
+// executed (0 outside sharded mode). Must be called from the owning
+// goroutine, like every Thread method.
+func (t *Thread) ProgramOrder() uint64 { return t.progSeq }
 
 // DivergenceError is thrown (via panic) when a replaying thread's execution
 // departs from the recorded schedule — e.g. it attempts more critical events
@@ -320,10 +333,13 @@ func (vm *VM) waitTurnLocked(t *Thread, next ids.GCount) {
 	vm.parked.Add(1)
 	vm.metrics.IncParked()
 	for ids.GCount(vm.clock.Load()) != next {
-		if vm.stalled {
+		if vm.stalled.Load() {
 			vm.parked.Add(-1)
 			vm.metrics.DecParked()
 			waiting := vm.waitingLocked()
+			if waiting == nil {
+				waiting = make(map[ids.ThreadNum]ids.GCount, 1)
+			}
 			waiting[t.num] = next // this thread is not in turnWaiters yet
 			panic(&DivergenceError{
 				VM:     vm.id,

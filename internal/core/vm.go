@@ -104,6 +104,21 @@ type Config struct {
 	// runs out of schedule — that is the crash point, not a divergence.
 	// Events inside the recovered prefix are unaffected and replay exactly.
 	StopAtLogEnd bool
+	// OrderMode selects how the VM orders critical events. OrderGlobal (the
+	// zero value) is the paper's scheme: one global counter totally orders
+	// every critical event. OrderSharded records a per-object access order
+	// for *registered* shared objects instead (see SharedInt.Register,
+	// Monitor.Register): each registered object carries its own access
+	// counter and replay enforces only per-object FIFO order, so threads
+	// touching disjoint objects record and replay concurrently. Events with
+	// no registered object — network, environment, thread lifecycle,
+	// checkpoints, unregistered objects — keep the global mechanism.
+	//
+	// Sharded mode gives up the single total order some extensions need:
+	// EventObserver, EnableTimestamps, EnableCausalTrace, EnableWAL, and
+	// checkpoint Resume all require OrderGlobal and fail with a clear error
+	// under OrderSharded. A replay VM's OrderMode must match the recording's.
+	OrderMode ids.OrderMode
 	// ObsSampleRate controls 1-in-N sampling of the latency histograms
 	// (GC-hold and turn-wait): events whose counter value is a multiple of N
 	// are timed; every other event skips the clock reads entirely, so the
@@ -162,8 +177,20 @@ type VM struct {
 	// hand over the turn (see replayEvent).
 	turnWaiters  map[ids.GCount]*Thread
 	parked       atomic.Int64
-	stalled      bool
+	stalled      atomic.Bool
 	stopWatchdog chan struct{}
+
+	// Sharded order mode (Config.OrderMode == OrderSharded): the registered
+	// object registry. nextObjID assigns ObjectIDs in registration order;
+	// objs lets Close flush open access runs and lets the watchdog broadcast
+	// a stall to per-object waiters; objParked counts threads parked on
+	// object turnstiles (the watchdog's cue that replay is waiting even when
+	// the global clock is idle).
+	orderMode ids.OrderMode
+	nextObjID atomic.Uint64
+	objsMu    sync.Mutex
+	objs      []*objState
+	objParked atomic.Int64
 
 	logs *tracelog.Set // record mode
 
@@ -243,6 +270,16 @@ func NewVM(cfg Config) (*VM, error) {
 	vm.sampleMask = pow - 1
 	vm.metrics.SetHistSampleRate(pow)
 	vm.observer = cfg.EventObserver
+	vm.orderMode = cfg.OrderMode
+	if cfg.OrderMode != ids.OrderGlobal && cfg.OrderMode != ids.OrderSharded {
+		return nil, fmt.Errorf("core: vm %d: unknown order mode %v", cfg.ID, cfg.OrderMode)
+	}
+	if cfg.OrderMode == ids.OrderSharded && cfg.EventObserver != nil {
+		return nil, fmt.Errorf("core: vm %d: EventObserver requires OrderGlobal — sharded mode has no single total event order to observe", cfg.ID)
+	}
+	if cfg.OrderMode == ids.OrderSharded && cfg.Resume != nil {
+		return nil, fmt.Errorf("core: vm %d: checkpoint resume requires OrderGlobal — fast-forward is defined on the global schedule", cfg.ID)
+	}
 	switch cfg.Mode {
 	case ids.Record:
 		vm.logs = tracelog.NewSet()
@@ -250,6 +287,12 @@ func NewVM(cfg Config) (*VM, error) {
 		vm.logs.Schedule.SetObserver(func(n int) { m.LogAppend(obs.LogSchedule, n) })
 		vm.logs.Network.SetObserver(func(n int) { m.LogAppend(obs.LogNetwork, n) })
 		vm.logs.Datagram.SetObserver(func(n int) { m.LogAppend(obs.LogDatagram, n) })
+		if cfg.OrderMode == ids.OrderSharded {
+			// Mark the log so the index, logcheck, and the causal analyzer
+			// know a per-object order follows; global-mode logs omit the
+			// record entirely for backward compatibility.
+			vm.logs.Schedule.Append(&tracelog.OrderModeEntry{Mode: ids.OrderSharded})
+		}
 	case ids.Replay:
 		if cfg.ReplayLogs == nil {
 			return nil, fmt.Errorf("core: replay VM %d needs ReplayLogs", cfg.ID)
@@ -263,6 +306,9 @@ func NewVM(cfg Config) (*VM, error) {
 		}
 		if sched.Meta.World != cfg.World {
 			return nil, fmt.Errorf("core: vm %d: recorded world %v, configured %v", cfg.ID, sched.Meta.World, cfg.World)
+		}
+		if sched.OrderMode != cfg.OrderMode {
+			return nil, fmt.Errorf("core: vm %d: recorded order mode %v, configured %v", cfg.ID, sched.OrderMode, cfg.OrderMode)
 		}
 		netIdx, err := tracelog.BuildNetworkIndex(cfg.ReplayLogs.Network)
 		if err != nil {
@@ -304,6 +350,9 @@ func (vm *VM) Mode() ids.Mode { return vm.mode }
 // World reports the world configuration.
 func (vm *VM) World() ids.World { return vm.world }
 
+// OrderMode reports how the VM orders critical events.
+func (vm *VM) OrderMode() ids.OrderMode { return vm.orderMode }
+
 // IsDJVMPeer reports whether the named host runs a DJVM under the current
 // world configuration: everyone in the closed world, nobody in the open
 // world, and exactly the configured peer set in the mixed world (§5).
@@ -335,6 +384,9 @@ func (vm *VM) Logs() *tracelog.Set { return vm.logs }
 func (vm *VM) EnableWAL(path string, opts tracelog.WALOptions) error {
 	if vm.mode != ids.Record {
 		return fmt.Errorf("core: vm %d: EnableWAL in %v mode", vm.id, vm.mode)
+	}
+	if vm.orderMode == ids.OrderSharded {
+		return fmt.Errorf("core: vm %d: EnableWAL requires OrderGlobal — torn-write recovery repairs a global-schedule prefix", vm.id)
 	}
 	m := vm.metrics
 	userSync := opts.OnSync
@@ -374,6 +426,9 @@ func (vm *VM) EnableTimestamps(every int) error {
 	if vm.mode != ids.Record {
 		return fmt.Errorf("core: vm %d: EnableTimestamps in %v mode", vm.id, vm.mode)
 	}
+	if vm.orderMode == ids.OrderSharded {
+		return fmt.Errorf("core: vm %d: EnableTimestamps requires OrderGlobal — anchors map the global counter onto wall time", vm.id)
+	}
 	if every <= 0 {
 		return fmt.Errorf("core: vm %d: EnableTimestamps cadence %d, want > 0", vm.id, every)
 	}
@@ -393,6 +448,9 @@ func (vm *VM) EnableTimestamps(every int) error {
 func (vm *VM) EnableCausalTrace() error {
 	if vm.mode != ids.Record {
 		return fmt.Errorf("core: vm %d: EnableCausalTrace in %v mode", vm.id, vm.mode)
+	}
+	if vm.orderMode == ids.OrderSharded {
+		return fmt.Errorf("core: vm %d: EnableCausalTrace requires OrderGlobal — net spans are keyed by global counter values", vm.id)
 	}
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
@@ -564,14 +622,17 @@ func (vm *VM) Wait() {
 	vm.activeWork.Wait()
 }
 
-// watchdog monitors replay progress: if the counter stands still for the
+// watchdog monitors replay progress: if no critical event executes for the
 // timeout while threads are parked on their turns, it flips the stall flag
-// and wakes them to fail with diagnostics.
+// and wakes them to fail with diagnostics. Progress is witnessed by the total
+// event count, not just the global counter — in sharded mode most events
+// advance only per-object turnstiles, and a healthy sharded replay must not
+// trip the watchdog just because its global clock is idle.
 func (vm *VM) watchdog(timeout time.Duration) {
 	defer vm.metrics.SetWatchdogArmed(false)
 	tick := time.NewTicker(timeout / 4)
 	defer tick.Stop()
-	lastClock := ids.GCount(0)
+	lastEvents := uint64(0)
 	lastChange := time.Now()
 	for {
 		select {
@@ -580,12 +641,14 @@ func (vm *VM) watchdog(timeout time.Duration) {
 		case <-tick.C:
 		}
 		vm.mu.Lock()
-		switch now := ids.GCount(vm.clock.Load()); {
-		case now != lastClock:
-			lastClock = now
+		stall := false
+		switch now := vm.metrics.TotalEvents(); {
+		case now != lastEvents:
+			lastEvents = now
 			lastChange = time.Now()
-		case len(vm.turnWaiters) > 0 && time.Since(lastChange) >= timeout:
-			vm.stalled = true
+		case (len(vm.turnWaiters) > 0 || vm.objParked.Load() > 0) && time.Since(lastChange) >= timeout:
+			stall = true
+			vm.stalled.Store(true)
 			vm.metrics.SetStalled()
 			// The stall is the one case that must wake *every* parked thread,
 			// so each fails with its own diagnostics. Registrations are left
@@ -597,10 +660,14 @@ func (vm *VM) watchdog(timeout time.Duration) {
 				default:
 				}
 			}
-			vm.mu.Unlock()
-			return
 		}
 		vm.mu.Unlock()
+		if stall {
+			// Broadcast to per-object waiters outside vm.mu: object locks are
+			// never nested inside the VM lock.
+			vm.wakeAllObjWaiters()
+			return
+		}
 	}
 }
 
@@ -614,8 +681,13 @@ func (vm *VM) WaitingThreads() map[ids.ThreadNum]ids.GCount {
 }
 
 // waitingLocked derives the parked-thread diagnostic map from the wakeup
-// table. Caller holds vm.mu.
+// table, returning nil when nothing is parked so idle probes (WaitingThreads
+// polling, stall diagnostics racing a wakeup) allocate nothing. Caller holds
+// vm.mu; callers that insert into the result must allocate on nil.
 func (vm *VM) waitingLocked() map[ids.ThreadNum]ids.GCount {
+	if len(vm.turnWaiters) == 0 {
+		return nil
+	}
 	out := make(map[ids.ThreadNum]ids.GCount, len(vm.turnWaiters))
 	for gc, t := range vm.turnWaiters {
 		out[t.num] = gc
@@ -646,6 +718,11 @@ func (vm *VM) Close() {
 	vm.threadsMu.Unlock()
 	for _, t := range threads {
 		t.finish()
+	}
+	if vm.mode == ids.Record && vm.orderMode == ids.OrderSharded {
+		// Flush open per-object access runs before the final vm-meta. Outside
+		// vm.mu: object locks are never nested inside the VM lock.
+		vm.flushObjRuns()
 	}
 
 	vm.mu.Lock()

@@ -109,6 +109,48 @@ func (w World) String() string {
 	}
 }
 
+// ObjectID identifies one registered shared object (SharedInt, SharedVar,
+// Monitor) within a single DJVM under sharded order recording. IDs are
+// assigned in registration order by the owning VM; because applications must
+// register objects in a deterministic order (see core.Config.OrderMode), an
+// object has the same ObjectID in the record and replay phases, mirroring how
+// ThreadNum survives across phases.
+type ObjectID uint64
+
+func (o ObjectID) String() string { return fmt.Sprintf("obj%d", uint64(o)) }
+
+// AccessSeq is the per-object access sequence number under sharded order
+// recording: it ticks once per critical event on one object, uniquely
+// identifying each access of that object the way GCount identifies each
+// critical event of a whole VM.
+type AccessSeq uint64
+
+// OrderMode selects how a DJVM totally orders critical events.
+type OrderMode uint8
+
+const (
+	// OrderGlobal is the paper's scheme: one global counter per VM orders
+	// every critical event, and replay enforces that single total order.
+	OrderGlobal OrderMode = iota
+	// OrderSharded records a per-object access order instead: each registered
+	// shared object carries its own access counter, and replay enforces only
+	// per-object FIFO order plus per-thread program order (the DOR/iReplayer
+	// relaxation). Events without a registered object — network, environment,
+	// thread lifecycle, checkpoints — still use the global counter.
+	OrderSharded
+)
+
+func (m OrderMode) String() string {
+	switch m {
+	case OrderGlobal:
+		return "global"
+	case OrderSharded:
+		return "sharded"
+	default:
+		return fmt.Sprintf("order(%d)", uint8(m))
+	}
+}
+
 // Mode distinguishes the two execution modes of a DJVM (§1).
 type Mode uint8
 

@@ -59,6 +59,14 @@ type Config struct {
 	// TimestampEvery, when > 0 in record mode, samples a wall-clock
 	// timestamp record on every VM each N critical events.
 	TimestampEvery int
+	// OrderMode selects the event-ordering scheme on every VM (see
+	// core.Config.OrderMode). Under OrderSharded the primary's store monitor
+	// and served counter and each replica's store monitor are registered for
+	// per-object ordering; everything else (RPC sockets, datagrams, thread
+	// lifecycle) keeps the global mechanism. Sharded mode is incompatible
+	// with CausalTrace, TimestampEvery, and PrimaryWAL — the underlying VMs
+	// reject those combinations.
+	OrderMode ids.OrderMode
 }
 
 // DefaultChaos is a moderately hostile network for the store.
@@ -116,6 +124,7 @@ func Run(cfg Config) (Result, RunLogs, error) {
 		vm, err := core.NewVM(core.Config{
 			ID: id, Mode: cfg.Mode, World: ids.ClosedWorld,
 			ReplayLogs: logs, RecordJitter: cfg.Jitter,
+			OrderMode: cfg.OrderMode,
 		})
 		if err != nil || cfg.Mode != ids.Record {
 			return vm, err
@@ -167,6 +176,10 @@ func Run(cfg Config) (Result, RunLogs, error) {
 	for i := range replicaVMs {
 		i := i
 		env := djgram.NewEnv(replicaVMs[i], net, fmt.Sprintf("replica%d", i))
+		// Registered before the replica's thread starts (sharded-mode
+		// registration contract); a no-op under OrderGlobal.
+		mon := core.NewMonitor()
+		mon.Register(replicaVMs[i])
 		replicaVMs[i].Start(func(main *core.Thread) {
 			sock, err := env.Bind(main, replicaPort)
 			if err != nil {
@@ -177,7 +190,6 @@ func Run(cfg Config) (Result, RunLogs, error) {
 			}
 			replicaReady <- struct{}{}
 			store := map[string]string{}
-			mon := core.NewMonitor()
 			for {
 				data, _, err := sock.Receive(main)
 				if err != nil {
@@ -206,6 +218,9 @@ func Run(cfg Config) (Result, RunLogs, error) {
 	store := map[string]string{}
 	storeMon := core.NewMonitor()
 	var served core.SharedInt
+	// Registered before the primary's workers start; no-ops under OrderGlobal.
+	storeMon.Register(primaryVM)
+	served.Register(primaryVM)
 
 	totalOps := cfg.Clients * cfg.OpsPerClient
 	workers := cfg.Clients // one RPC worker per client thread

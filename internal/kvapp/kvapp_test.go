@@ -71,6 +71,59 @@ func TestKVStoreFreeRunsDiffer(t *testing.T) {
 	t.Skip("kv store outcomes identical across free runs")
 }
 
+// TestKVStoreShardedRecordReplay is the application-level property test for
+// the sharded order mode: across random seeds, a sharded recording of the
+// full primary/replica/client topology must replay to identical digests.
+// (CausalTrace, TimestampEvery, and PrimaryWAL stay off — they require
+// OrderGlobal.)
+func TestKVStoreShardedRecordReplay(t *testing.T) {
+	for _, seed := range []int64{3, 41, 977} {
+		cfg := smallConfig(ids.Record, seed, nil)
+		cfg.OrderMode = ids.OrderSharded
+		rec, logs, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rec.ServedOps == 0 || rec.PrimaryDigest == 0 {
+			t.Fatalf("seed %d: record produced empty result: %+v", seed, rec)
+		}
+		rcfg := smallConfig(ids.Replay, seed+9000, logs)
+		rcfg.OrderMode = ids.OrderSharded
+		rep, _, err := Run(rcfg)
+		if err != nil {
+			t.Fatalf("seed %d replay: %v", seed, err)
+		}
+		if rep.PrimaryDigest != rec.PrimaryDigest || rep.ClientDigest != rec.ClientDigest ||
+			rep.ServedOps != rec.ServedOps {
+			t.Errorf("seed %d: replay (%x,%x,%d) != record (%x,%x,%d)", seed,
+				rep.PrimaryDigest, rep.ClientDigest, rep.ServedOps,
+				rec.PrimaryDigest, rec.ClientDigest, rec.ServedOps)
+		}
+		for r := range rec.ReplicaDigests {
+			if rep.ReplicaDigests[r] != rec.ReplicaDigests[r] {
+				t.Errorf("seed %d: replica %d digest %x, record %x",
+					seed, r, rep.ReplicaDigests[r], rec.ReplicaDigests[r])
+			}
+		}
+	}
+}
+
+// TestKVStoreShardedRejectsGlobalFeatures: the per-VM feature guards must
+// surface through the app config, not deadlock or silently downgrade.
+func TestKVStoreShardedRejectsGlobalFeatures(t *testing.T) {
+	cfg := smallConfig(ids.Record, 5, nil)
+	cfg.OrderMode = ids.OrderSharded
+	cfg.CausalTrace = true
+	if _, _, err := Run(cfg); err == nil {
+		t.Error("sharded + CausalTrace accepted")
+	}
+	cfg.CausalTrace = false
+	cfg.TimestampEvery = 10
+	if _, _, err := Run(cfg); err == nil {
+		t.Error("sharded + TimestampEvery accepted")
+	}
+}
+
 func TestKVStoreConfigValidation(t *testing.T) {
 	if _, _, err := Run(Config{Mode: ids.Record}); err == nil {
 		t.Error("zero-sized config accepted")

@@ -136,6 +136,51 @@ func checkSchedule(rep *Report, vm ids.DJVMID, sched *tracelog.ScheduleIndex) {
 			rep.addf(vm, "checkpoint taken by unknown thread %d", cp.TakerThread)
 		}
 	}
+	checkObjOrder(rep, vm, sched)
+}
+
+// checkObjOrder verifies the sharded-order records: each object's access runs
+// must partition its accessSeq range [0, lastSeq] exactly — contiguous from 0,
+// no gaps, no overlaps (the per-object analogue of the interval-partition
+// check) — and every per-object notify/timed-wait must land inside that range
+// and name threads that exist. A global-mode log carrying per-object records
+// is itself a finding: something recorded sharded data without the marker.
+func checkObjOrder(rep *Report, vm ids.DJVMID, sched *tracelog.ScheduleIndex) {
+	if sched.OrderMode == ids.OrderGlobal &&
+		(len(sched.ObjRuns) > 0 || len(sched.ObjNotifies) > 0 || len(sched.ObjTimedWaits) > 0) {
+		rep.addf(vm, "schedule carries per-object order records but no sharded order-mode marker")
+	}
+	final := map[ids.ObjectID]ids.AccessSeq{} // one past each object's last access
+	for obj, runs := range sched.ObjRuns {
+		next := ids.AccessSeq(0)
+		for _, r := range runs {
+			// BuildScheduleIndex already rejects out-of-order and inverted
+			// runs per object, so only gaps remain to diagnose here.
+			if r.First > next {
+				rep.addf(vm, "%v access gap: sequences [%d,%d] covered by no run", obj, next, r.First-1)
+			}
+			if uint32(r.Thread) >= sched.Meta.Threads {
+				rep.addf(vm, "%v run [%d,%d] names unknown thread %d", obj, r.First, r.Last, r.Thread)
+			}
+			next = r.Last + 1
+		}
+		final[obj] = next
+	}
+	for ev, woken := range sched.ObjNotifies {
+		if ev.Seq >= final[ev.Obj] {
+			rep.addf(vm, "obj-notify at %v access %d beyond the object's last access %d", ev.Obj, ev.Seq, final[ev.Obj])
+		}
+		for _, tn := range woken {
+			if uint32(tn) >= sched.Meta.Threads {
+				rep.addf(vm, "obj-notify at %v access %d wakes unknown thread %d", ev.Obj, ev.Seq, tn)
+			}
+		}
+	}
+	for ev := range sched.ObjTimedWaits {
+		if ev.Seq >= final[ev.Obj] {
+			rep.addf(vm, "obj-timed-wait at %v access %d beyond the object's last access %d", ev.Obj, ev.Seq, final[ev.Obj])
+		}
+	}
 }
 
 // checkNetwork verifies network-log records reference threads that exist

@@ -49,6 +49,15 @@ type Metrics struct {
 	timestamps atomic.Uint64
 	netSpans   atomic.Uint64
 
+	// Sharded-order counters (Config.OrderMode == OrderSharded): per-object
+	// acquisitions that completed on the fast path (record: uncontended
+	// TryLock; replay: turnstile already open) vs. ones that contended
+	// (record: lock wait; replay: parked on the turnstile), plus access runs
+	// flushed to the log (the sharded analogue of intervals).
+	shardFast      atomic.Uint64
+	shardContended atomic.Uint64
+	objRuns        atomic.Uint64
+
 	// histSampleRate is the 1-in-N latency sampling rate the VM applies to
 	// the two histograms below (see core.Config.ObsSampleRate). Event counts
 	// stay exact; only latency observation is sampled.
@@ -93,6 +102,25 @@ func (m *Metrics) TotalEvents() uint64 {
 	}
 	return total
 }
+
+// IncShardEvent counts one sharded-mode critical event of the given kind,
+// classifying its per-object acquisition as fast-path or contended. Unlike
+// IncEvent it does not move the clock gauge: sharded events advance per-object
+// counters, not the global clock.
+func (m *Metrics) IncShardEvent(kind EventKind, fast bool) {
+	if int(kind) >= NumEventKinds {
+		kind = KindOther
+	}
+	m.events[kind].Add(1)
+	if fast {
+		m.shardFast.Add(1)
+	} else {
+		m.shardContended.Add(1)
+	}
+}
+
+// IncObjRun counts one per-object access run flushed to the schedule log.
+func (m *Metrics) IncObjRun() { m.objRuns.Add(1) }
 
 // IncNetworkEvent counts one network event.
 func (m *Metrics) IncNetworkEvent() { m.networkEvents.Add(1) }

@@ -34,6 +34,10 @@ func WriteReport(w io.Writer, s Snapshot) {
 		fmt.Fprintf(w, "causal   timestamps %d  net-spans %d\n",
 			s.Causal.Timestamps, s.Causal.NetSpans)
 	}
+	if s.Shard.FastPath > 0 || s.Shard.Contended > 0 || s.Shard.ObjRuns > 0 {
+		fmt.Fprintf(w, "shard    fast %d  contended %d  obj-runs %d\n",
+			s.Shard.FastPath, s.Shard.Contended, s.Shard.ObjRuns)
+	}
 	writeHistLine(w, "turnwait", s.TurnWait)
 	writeHistLine(w, "gc-hold ", s.GCHold)
 }

@@ -105,6 +105,21 @@ type CausalCounts struct {
 	NetSpans uint64 `json:"net_spans"`
 }
 
+// ShardCounts groups the sharded-order counters: how per-object acquisitions
+// resolved (fast path vs. contended) and how many access runs were logged.
+// All zero outside sharded order mode.
+type ShardCounts struct {
+	// FastPath is sharded events whose per-object acquisition completed
+	// without waiting (record: uncontended lock; replay: open turnstile).
+	FastPath uint64 `json:"fast_path"`
+	// Contended is sharded events that waited for their object (record: lock
+	// contention; replay: parked on the turnstile).
+	Contended uint64 `json:"contended"`
+	// ObjRuns is per-object access runs flushed to the schedule log — the
+	// sharded analogue of Intervals.
+	ObjRuns uint64 `json:"obj_runs"`
+}
+
 // Snapshot is a consistent point-in-time view of one VM's metrics. Totals are
 // derived from the same atomic loads as the per-kind fields, so a snapshot is
 // internally consistent (TotalEvents always equals Events.Total()) even when
@@ -130,6 +145,9 @@ type Snapshot struct {
 	// Causal is the causal-tracing counter set (timestamp + net-span
 	// records emitted).
 	Causal CausalCounts `json:"causal"`
+	// Shard is the sharded-order counter set (fast-path vs. contended
+	// per-object acquisitions, access runs logged).
+	Shard ShardCounts `json:"shard"`
 	// HistSampleRate is the 1-in-N latency sampling rate behind TurnWait and
 	// GCHold: only events whose counter value is a multiple of N contributed
 	// a latency observation (counts elsewhere in the snapshot stay exact).
@@ -184,6 +202,11 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.Causal = CausalCounts{
 		Timestamps: m.timestamps.Load(),
 		NetSpans:   m.netSpans.Load(),
+	}
+	s.Shard = ShardCounts{
+		FastPath:  m.shardFast.Load(),
+		Contended: m.shardContended.Load(),
+		ObjRuns:   m.objRuns.Load(),
 	}
 	s.HistSampleRate = m.histSampleRate.Load()
 	s.TurnWait = m.TurnWait.Snapshot()

@@ -106,6 +106,30 @@ const (
 	// them.
 	KindNetSpan
 
+	// Sharded-order records (core.Config.OrderMode == OrderSharded). The
+	// schedule log of a sharded recording carries an order-mode marker, the
+	// per-thread intervals of the events that still use the global counter
+	// (network, environment, thread lifecycle, checkpoints), and the
+	// per-object access-order records below.
+
+	// KindOrderMode marks the order mode the schedule log was recorded under.
+	// Global-mode logs omit it (absence means OrderGlobal), so every log
+	// written before sharded ordering existed indexes unchanged.
+	KindOrderMode
+	// KindObjRun is one run of consecutive accesses to one registered shared
+	// object by one thread: ⟨objectId, firstSeq, lastSeq, threadNum⟩ — the
+	// per-object analogue of a logical schedule interval, run-length-
+	// compressing the (objectID, accessSeq, threadNum) access tuples.
+	KindObjRun
+	// KindObjNotify records, for a sharded-mode notify identified by its
+	// ⟨objectId, accessSeq⟩, which waiting threads were woken (the per-object
+	// analogue of KindNotify).
+	KindObjNotify
+	// KindObjTimedWait records how a sharded-mode timed wait resolved, keyed
+	// by the wait-enter event's ⟨objectId, accessSeq⟩ (the per-object
+	// analogue of KindTimedWait).
+	KindObjTimedWait
+
 	// New kinds must be appended here, never inserted above: kind values are
 	// part of the on-disk log format.
 	kindMax
@@ -133,6 +157,10 @@ var kindNames = [...]string{
 	KindOpenInterval: "open-interval",
 	KindTimestamp:    "timestamp",
 	KindNetSpan:      "net-span",
+	KindOrderMode:    "order-mode",
+	KindObjRun:       "obj-run",
+	KindObjNotify:    "obj-notify",
+	KindObjTimedWait: "obj-timed-wait",
 }
 
 func (k Kind) String() string {
@@ -656,6 +684,14 @@ func newEntry(k Kind) (Entry, error) {
 		return &TimestampEntry{}, nil
 	case KindNetSpan:
 		return &NetSpanEntry{}, nil
+	case KindOrderMode:
+		return &OrderModeEntry{}, nil
+	case KindObjRun:
+		return &ObjRun{}, nil
+	case KindObjNotify:
+		return &ObjNotify{}, nil
+	case KindObjTimedWait:
+		return &ObjTimedWait{}, nil
 	default:
 		return nil, corruptf("unknown record kind %d", k)
 	}
@@ -747,4 +783,106 @@ func (ns *NetSpanEntry) decode(d *dec) {
 	ns.Conn.Event = ids.EventNum(d.u32())
 	ns.Offset = d.u64()
 	ns.Len = d.u32()
+}
+
+// OrderModeEntry marks the order mode the schedule log was recorded under. A
+// sharded-mode recorder writes one as the first schedule record; global-mode
+// logs (including all pre-sharding logs) carry none, and the index treats
+// absence as OrderGlobal.
+type OrderModeEntry struct {
+	Mode ids.OrderMode
+}
+
+func (o *OrderModeEntry) Kind() Kind { return KindOrderMode }
+
+func (o *OrderModeEntry) encode(e *enc) { e.u8(uint8(o.Mode)) }
+
+func (o *OrderModeEntry) decode(d *dec) { o.Mode = ids.OrderMode(d.u8()) }
+
+// ObjRun is one run of consecutive accesses to the registered shared object
+// Obj by thread Thread: the accesses with per-object sequence numbers First
+// through Last inclusive. Because an object's accessSeq ticks once per access,
+// the runs of one object always partition [0, finalSeq] exactly — the same
+// shape as schedule intervals partitioning [0, FinalGC).
+type ObjRun struct {
+	Obj    ids.ObjectID
+	Thread ids.ThreadNum
+	First  ids.AccessSeq
+	Last   ids.AccessSeq
+}
+
+func (r *ObjRun) Kind() Kind { return KindObjRun }
+
+func (r *ObjRun) encode(e *enc) {
+	e.u64(uint64(r.Obj))
+	e.u32(uint32(r.Thread))
+	e.u64(uint64(r.First))
+	// Delta-encode Last against First, as Interval does.
+	e.u64(uint64(r.Last - r.First))
+}
+
+func (r *ObjRun) decode(d *dec) {
+	r.Obj = ids.ObjectID(d.u64())
+	r.Thread = ids.ThreadNum(d.u32())
+	r.First = ids.AccessSeq(d.u64())
+	r.Last = r.First + ids.AccessSeq(d.u64())
+}
+
+// ObjNotify records the set of threads woken by a sharded-mode notify /
+// notifyAll: the notify executed as access Seq of object Obj.
+type ObjNotify struct {
+	Obj   ids.ObjectID
+	Seq   ids.AccessSeq
+	Woken []ids.ThreadNum
+}
+
+func (n *ObjNotify) Kind() Kind { return KindObjNotify }
+
+func (n *ObjNotify) encode(e *enc) {
+	e.u64(uint64(n.Obj))
+	e.u64(uint64(n.Seq))
+	e.u64(uint64(len(n.Woken)))
+	for _, t := range n.Woken {
+		e.u32(uint32(t))
+	}
+}
+
+func (n *ObjNotify) decode(d *dec) {
+	n.Obj = ids.ObjectID(d.u64())
+	n.Seq = ids.AccessSeq(d.u64())
+	cnt := d.u64()
+	if d.err != nil || cnt > 1<<20 {
+		d.fail()
+		return
+	}
+	n.Woken = make([]ids.ThreadNum, cnt)
+	for i := range n.Woken {
+		n.Woken[i] = ids.ThreadNum(d.u32())
+	}
+}
+
+// ObjTimedWait records the resolution of a sharded-mode timed wait whose
+// wait-enter event executed as access Seq of object Obj. Check and TimedOut
+// mean what they mean on TimedWaitEntry.
+type ObjTimedWait struct {
+	Obj      ids.ObjectID
+	Seq      ids.AccessSeq
+	Check    bool
+	TimedOut bool
+}
+
+func (w *ObjTimedWait) Kind() Kind { return KindObjTimedWait }
+
+func (w *ObjTimedWait) encode(e *enc) {
+	e.u64(uint64(w.Obj))
+	e.u64(uint64(w.Seq))
+	e.bool(w.Check)
+	e.bool(w.TimedOut)
+}
+
+func (w *ObjTimedWait) decode(d *dec) {
+	w.Obj = ids.ObjectID(d.u64())
+	w.Seq = ids.AccessSeq(d.u64())
+	w.Check = d.bool()
+	w.TimedOut = d.bool()
 }

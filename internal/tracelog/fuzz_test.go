@@ -24,6 +24,18 @@ func FuzzParse(f *testing.F) {
 	})
 	healthy := l.Bytes()
 	f.Add(healthy)
+
+	// A sharded-order schedule exercising the per-object record kinds.
+	sl := NewLog()
+	sl.Append(&OrderModeEntry{Mode: ids.OrderSharded})
+	sl.Append(&VMMeta{VM: 3, World: ids.ClosedWorld, Threads: 4, FinalGC: 0})
+	sl.Append(&ObjRun{Obj: 0, Thread: 0, First: 0, Last: 12})
+	sl.Append(&ObjRun{Obj: 1, Thread: 2, First: 0, Last: 3})
+	sl.Append(&ObjNotify{Obj: 1, Seq: 2, Woken: []ids.ThreadNum{1, 3}})
+	sl.Append(&ObjTimedWait{Obj: 1, Seq: 3, Check: true, TimedOut: false})
+	sharded := sl.Bytes()
+	f.Add(sharded)
+	f.Add(sharded[:len(sharded)/2])
 	f.Add(healthy[:len(healthy)/2])
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff})

@@ -19,6 +19,27 @@ type ScheduleIndex struct {
 	// Timestamps are the optional sampled wall-clock anchors, in append
 	// (hence GC) order. Replay never consults them; the causal analyzer does.
 	Timestamps []TimestampEntry
+
+	// OrderMode is the order mode the log was recorded under. Logs without an
+	// order-mode record (every global-mode and pre-sharding log) index as
+	// OrderGlobal.
+	OrderMode ids.OrderMode
+	// ObjRuns holds each registered object's access runs in per-object
+	// execution order (append order per object is access order, the way
+	// interval append order per thread is execution order). Empty outside
+	// sharded mode.
+	ObjRuns map[ids.ObjectID][]ObjRun
+	// ObjNotifies and ObjTimedWaits key sharded-mode notify payloads and
+	// timed-wait resolutions by the event's ⟨object, accessSeq⟩.
+	ObjNotifies   map[ObjEvent][]ids.ThreadNum
+	ObjTimedWaits map[ObjEvent]ObjTimedWait
+}
+
+// ObjEvent identifies one sharded-mode critical event as the pair
+// ⟨object, accessSeq⟩ — the per-object analogue of a GCount.
+type ObjEvent struct {
+	Obj ids.ObjectID
+	Seq ids.AccessSeq
 }
 
 // The Build*Index functions decode the byte stream directly into the index
@@ -50,9 +71,12 @@ func unexpectedRecord(k Kind, logName string) error {
 // non-overlapping and increasing per thread.
 func BuildScheduleIndex(l *Log) (*ScheduleIndex, error) {
 	idx := &ScheduleIndex{
-		Intervals:  make(map[ids.ThreadNum][]Interval),
-		Notifies:   make(map[ids.GCount][]ids.ThreadNum),
-		TimedWaits: make(map[ids.GCount]TimedWaitEntry),
+		Intervals:     make(map[ids.ThreadNum][]Interval),
+		Notifies:      make(map[ids.GCount][]ids.ThreadNum),
+		TimedWaits:    make(map[ids.GCount]TimedWaitEntry),
+		ObjRuns:       make(map[ids.ObjectID][]ObjRun),
+		ObjNotifies:   make(map[ObjEvent][]ids.ThreadNum),
+		ObjTimedWaits: make(map[ObjEvent]ObjTimedWait),
 	}
 	d := &dec{buf: l.snapshot()}
 	sawMeta := false
@@ -123,6 +147,45 @@ func BuildScheduleIndex(l *Log) (*ScheduleIndex, error) {
 				return nil, err
 			}
 			idx.Timestamps = append(idx.Timestamps, v)
+		case KindOrderMode:
+			var v OrderModeEntry
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
+			if v.Mode != ids.OrderGlobal && v.Mode != ids.OrderSharded {
+				return nil, corruptf("unknown order mode %d", uint8(v.Mode))
+			}
+			idx.OrderMode = v.Mode
+		case KindObjRun:
+			var v ObjRun
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
+			if v.Last < v.First {
+				return nil, corruptf("obj-run for %v has Last %d < First %d", v.Obj, v.Last, v.First)
+			}
+			runs := idx.ObjRuns[v.Obj]
+			if n := len(runs); n > 0 && runs[n-1].Last >= v.First {
+				return nil, corruptf("obj-runs for %v out of order: [%d,%d] then [%d,%d]",
+					v.Obj, runs[n-1].First, runs[n-1].Last, v.First, v.Last)
+			}
+			idx.ObjRuns[v.Obj] = append(runs, v)
+		case KindObjNotify:
+			var v ObjNotify
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
+			idx.ObjNotifies[ObjEvent{v.Obj, v.Seq}] = v.Woken
+		case KindObjTimedWait:
+			var v ObjTimedWait
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
+			idx.ObjTimedWaits[ObjEvent{v.Obj, v.Seq}] = v
 		default:
 			return nil, unexpectedRecord(k, "schedule")
 		}
