@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/causal"
+	"repro/internal/chaos"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/djenv"
@@ -54,6 +55,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/rudp"
+	"repro/internal/super"
 	"repro/internal/tracelog"
 )
 
@@ -152,6 +154,36 @@ type (
 	// ShardCounts groups a snapshot's sharded-order counters (fast-path vs.
 	// contended per-object acquisitions, access runs logged).
 	ShardCounts = obs.ShardCounts
+
+	// ChaosPlan is a seeded, declarative fault schedule: crash points,
+	// partition windows and link-loss epochs keyed to global-counter values,
+	// so the same seed perturbs a run at the same logical instants every
+	// time. See GenerateChaos.
+	ChaosPlan = chaos.Plan
+	// ChaosAction is one scheduled fault of a ChaosPlan.
+	ChaosAction = chaos.Action
+	// ChaosOptions parameterizes plan generation (pilot host, peer hosts,
+	// fault horizon).
+	ChaosOptions = chaos.Options
+	// ChaosEngine fires a plan's faults at their counter values; install its
+	// Observer as Config.EventObserver on the node under test.
+	ChaosEngine = chaos.Engine
+	// Supervisor watches a recording node for fail-stop and prepares a
+	// checkpoint-anchored restart. See Node.Supervise.
+	Supervisor = super.Supervisor
+	// SuperConfig tunes fail-stop detection and names the WAL recovery
+	// works on.
+	SuperConfig = super.Config
+	// Recovery is a prepared restart: the salvaged log set and the
+	// checkpoint anchor to resume from.
+	Recovery = super.Recovery
+	// SuperOutcome reports what one supervision episode observed.
+	SuperOutcome = super.Outcome
+	// RecoveryCounts groups a snapshot's supervisor counters (recoveries,
+	// restarts, replay-from-zero fallbacks).
+	RecoveryCounts = obs.RecoveryCounts
+	// TruncateStats reports what one WAL truncation kept and dropped.
+	TruncateStats = tracelog.TruncateStats
 
 	// CausalGraph is the reconstructed cross-VM happens-before graph of a
 	// recorded world. See Analyze.
@@ -465,6 +497,63 @@ func (n *Node) SyncWAL() error {
 // LogEndStops reports how many replay threads stopped cleanly at the end of a
 // crash-recovered schedule (Config.StopAtLogEnd).
 func (n *Node) LogEndStops() uint64 { return n.vm.LogEndStops() }
+
+// TruncateAt compacts the node's write-ahead log at a checkpoint anchor,
+// keeping the last `keep` checkpoints: every schedule, network and datagram
+// record satisfied strictly below the anchor is dropped, the anchor's base
+// counter is stamped into the compacted log, and replay of the result must
+// resume from a retained checkpoint. Record mode with an enabled WAL only
+// (no-op in other modes). The rewrite is atomic — a crash mid-truncation
+// leaves the previous log intact.
+func (n *Node) TruncateAt(keep int) (*TruncateStats, error) {
+	return n.vm.TruncateWAL(keep)
+}
+
+// Supervise starts a fail-stop supervisor over this recording node: it polls
+// the node's event-counter total and, after cfg.FailAfter with no progress,
+// salvages the WAL at cfg.WALPath, anchors a restart on the latest salvaged
+// checkpoint (falling back to replay-from-zero), and invokes cfg.Restart.
+// Call Stop when the node completes cleanly; Wait returns the episode's
+// outcome.
+func (n *Node) Supervise(cfg SuperConfig) *Supervisor {
+	return super.Watch(n.vm, cfg)
+}
+
+// GenerateChaos expands a seed into a validated fault schedule: a crash point
+// inside the horizon, optional partition windows and link-loss epochs, and
+// possibly a post-crash peer failure. The same seed and options always yield
+// byte-identical plans (ChaosPlan.Encode).
+func GenerateChaos(seed uint64, opts ChaosOptions) (ChaosPlan, error) {
+	return chaos.Generate(seed, opts)
+}
+
+// NewChaosEngine compiles a plan against a network: the returned engine's
+// Observer, installed as Config.EventObserver on the pilot node, fires each
+// fault exactly at its counter value. kill is invoked at the plan's crash
+// point; nil means freeze the node in place (the supervisor's detection
+// path). Faults land at deterministic logical instants, so a recorded run
+// replays them implicitly — the engine is for the record phase only.
+func NewChaosEngine(p ChaosPlan, pilot string, net *Network, kill func()) (*ChaosEngine, error) {
+	return chaos.NewEngine(p, pilot, net, kill)
+}
+
+// RecordChaosPlan stamps the plan (seed and encoded schedule) into the node's
+// record-phase logs, so the fault schedule travels with the trace and
+// ChaosPlanFromLogs can round-trip it after recovery.
+func (n *Node) RecordChaosPlan(p ChaosPlan) error {
+	logs := n.vm.Logs()
+	if logs == nil {
+		return fmt.Errorf("dejavu: node %d has no logs (mode %v)", n.ID(), n.Mode())
+	}
+	chaos.Record(logs, p)
+	return nil
+}
+
+// ChaosPlanFromLogs recovers the fault schedule recorded into a log set.
+// ok is false when the set carries no plan.
+func ChaosPlanFromLogs(logs *Logs) (ChaosPlan, bool, error) {
+	return chaos.PlanFromSet(logs)
+}
 
 // Recover reads a write-ahead log written by EnableWAL — including one left
 // by a crashed process — truncates it at the first torn or corrupt frame, and

@@ -1,0 +1,106 @@
+package dejavu_test
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/dejavu"
+)
+
+// The facade's supervision-and-chaos surface end to end: a chaos plan is
+// generated and stamped into the trace, the WAL is truncated at a checkpoint
+// anchor, the supervisor stands down cleanly, and the compacted log recovers
+// into a set that still carries the plan and replays from the retained
+// checkpoint.
+func TestSuperviseChaosTruncateFacade(t *testing.T) {
+	plan, err := dejavu.GenerateChaos(5, dejavu.ChaosOptions{
+		Pilot: "a", Hosts: []string{"b"}, Horizon: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan2, err := dejavu.GenerateChaos(5, dejavu.ChaosOptions{
+		Pilot: "a", Hosts: []string{"b"}, Horizon: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(plan.Encode()) != string(plan2.Encode()) {
+		t.Fatal("GenerateChaos is not deterministic")
+	}
+
+	walPath := filepath.Join(t.TempDir(), "node.wal")
+	net := dejavu.NewNetwork(dejavu.NetworkConfig{Seed: 5})
+	rec, err := dejavu.NewNode(dejavu.Config{ID: 1, Mode: dejavu.Record, Network: net, Host: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.EnableWAL(walPath, dejavu.WALOptions{SyncEvery: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.RecordChaosPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+
+	app := func(t *dejavu.Thread) {
+		var x dejavu.SharedInt
+		for r := 0; r < 3; r++ {
+			for i := 0; i < 5; i++ {
+				x.Set(t, x.Get(t)+1)
+			}
+			dejavu.CheckpointTake(t, func() []byte { return []byte("state") })
+		}
+	}
+	sup := rec.Supervise(dejavu.SuperConfig{
+		WALPath:   walPath,
+		Heartbeat: time.Millisecond,
+		FailAfter: time.Second,
+	})
+	rec.Start(app)
+	rec.Wait()
+	sup.Stop()
+	if out, err := sup.Wait(); out != nil || err != nil {
+		t.Fatalf("clean supervision episode: %+v, %v", out, err)
+	}
+
+	st, err := rec.TruncateAt(1)
+	if err != nil {
+		t.Fatalf("TruncateAt: %v", err)
+	}
+	if st.BaseGC == 0 {
+		t.Fatal("truncation anchored at zero")
+	}
+
+	logs, rep, err := dejavu.Recover(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BaseGC != st.BaseGC {
+		t.Fatalf("recovered base %d, truncation stamped %d", rep.BaseGC, st.BaseGC)
+	}
+	got, ok, err := dejavu.ChaosPlanFromLogs(logs)
+	if err != nil || !ok {
+		t.Fatalf("plan lost in truncation: ok=%v err=%v", ok, err)
+	}
+	if string(got.Encode()) != string(plan.Encode()) {
+		t.Fatal("recovered plan differs from the recorded one")
+	}
+
+	cp, err := dejavu.CheckpointLatest(logs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := dejavu.NewNode(dejavu.Config{
+		ID: 1, Mode: dejavu.Replay, Network: dejavu.NewNetwork(dejavu.NetworkConfig{}),
+		Host: "a", ReplayLogs: logs,
+		Resume:       &cp.Resume,
+		StopAtLogEnd: true,
+		StallTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2.Start(app)
+	rep2.Wait()
+}

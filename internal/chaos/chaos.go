@@ -1,0 +1,432 @@
+// Package chaos is a seeded, declarative fault-schedule engine for record
+// phase soak testing, in the spirit of rr's chaos mode: a single seed expands
+// deterministically into a schedule of crash/partition/link-loss actions keyed
+// to the recording VM's global counter, the schedule drives the netsim fault
+// plan as the counter advances, and the schedule itself is recorded into the
+// trace set — so a chaos run carries its own fault description and the
+// recorded log replays bit-identically without the engine present (the
+// faults' effects are already in the recorded records; replay never consults
+// the plan).
+//
+// Keying actions to the global counter rather than wall time is what makes a
+// campaign reproducible enough to assert on: the counter is the record
+// phase's own logical clock, so "partition at counter 400" lands at the same
+// point of the application's progress on every machine, fast or slow. The
+// one wall-clock-shaped residue — which thread happens to win the next
+// counter value — is exactly what the recorded schedule captures, so outcome
+// invariants (convergence, digest equality) are asserted per run against
+// that run's own log.
+package chaos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/tracelog"
+)
+
+// ActionKind enumerates the fault actions a plan can schedule.
+type ActionKind uint8
+
+const (
+	// ActCrash fail-stops a netsim host permanently at counter At.
+	ActCrash ActionKind = iota + 1
+	// ActPartition cuts Hosts from HostsB over the window [At, Until), healed
+	// at Until. Heal is global in netsim, so a valid plan's partition windows
+	// never overlap.
+	ActPartition
+	// ActLinkLoss sets the directional From→To drop rate to Rate over
+	// [At, Until), restoring lossless delivery at Until.
+	ActLinkLoss
+)
+
+func (k ActionKind) String() string {
+	switch k {
+	case ActCrash:
+		return "crash"
+	case ActPartition:
+		return "partition"
+	case ActLinkLoss:
+		return "link-loss"
+	}
+	return fmt.Sprintf("ActionKind(%d)", uint8(k))
+}
+
+// Action is one scheduled fault. Fields beyond Kind/At are used per kind:
+// crash reads Hosts[0]; partition reads Hosts/HostsB/Until; link-loss reads
+// From/To/Rate/Until.
+type Action struct {
+	Kind     ActionKind
+	At       ids.GCount // global counter the action fires at
+	Until    ids.GCount // window end (exclusive) for partition / link-loss
+	Hosts    []string   // crash target (one) or partition side A
+	HostsB   []string   // partition side B
+	From, To string     // link-loss direction
+	Rate     float64    // link-loss drop probability
+}
+
+// Plan is a complete fault schedule: the seed it expanded from, the counter
+// at which the pilot VM itself is crashed (0 = never), and the network
+// actions in firing order.
+type Plan struct {
+	Seed    uint64
+	KillAt  ids.GCount
+	Actions []Action
+}
+
+// Validate checks the plan up front: rates in [0,1], windows well-formed,
+// partition windows non-overlapping (netsim's Heal clears every cut, so
+// overlapping windows would heal each other early), and no action crashing
+// pilot — the pilot VM dies via KillAt so its death lands between two
+// recorded events, not mid-delivery.
+func (p Plan) Validate(pilot string) error {
+	type window struct{ at, until ids.GCount }
+	var parts []window
+	for i, a := range p.Actions {
+		switch a.Kind {
+		case ActCrash:
+			if len(a.Hosts) != 1 || a.Hosts[0] == "" {
+				return fmt.Errorf("chaos: action %d: crash needs exactly one host", i)
+			}
+			if a.Hosts[0] == pilot {
+				return fmt.Errorf("chaos: action %d: cannot crash pilot %q via netsim — use KillAt", i, pilot)
+			}
+		case ActPartition:
+			if len(a.Hosts) == 0 || len(a.HostsB) == 0 {
+				return fmt.Errorf("chaos: action %d: partition needs two non-empty sides", i)
+			}
+			for _, x := range a.Hosts {
+				for _, y := range a.HostsB {
+					if x == y {
+						return fmt.Errorf("chaos: action %d: host %q on both sides of partition", i, x)
+					}
+				}
+			}
+			if a.Until <= a.At {
+				return fmt.Errorf("chaos: action %d: partition window [%d,%d) is empty", i, a.At, a.Until)
+			}
+			parts = append(parts, window{a.At, a.Until})
+		case ActLinkLoss:
+			if a.From == "" || a.To == "" {
+				return fmt.Errorf("chaos: action %d: link-loss needs from and to", i)
+			}
+			if a.Rate < 0 || a.Rate > 1 {
+				return fmt.Errorf("chaos: action %d: rate %v outside [0,1]", i, a.Rate)
+			}
+			if a.Until <= a.At {
+				return fmt.Errorf("chaos: action %d: link-loss window [%d,%d) is empty", i, a.At, a.Until)
+			}
+		default:
+			return fmt.Errorf("chaos: action %d: unknown kind %v", i, a.Kind)
+		}
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].at < parts[j].at })
+	for i := 1; i < len(parts); i++ {
+		if parts[i].at < parts[i-1].until {
+			return fmt.Errorf("chaos: partition windows [%d,%d) and [%d,%d) overlap — netsim heal is global",
+				parts[i-1].at, parts[i-1].until, parts[i].at, parts[i].until)
+		}
+	}
+	return nil
+}
+
+// Options shapes plan generation.
+type Options struct {
+	// Pilot is the recorded VM's host: crashed via KillAt, never via netsim.
+	Pilot string
+	// Hosts are the non-pilot hosts fault actions may target.
+	Hosts []string
+	// Horizon is the counter range faults are spread over; KillAt lands in
+	// its middle band so a crash always interrupts in-flight work.
+	Horizon ids.GCount
+}
+
+// Generate expands a seed into a validated plan. The expansion is a pure
+// function of (seed, opts): the same inputs produce the identical plan,
+// byte-for-byte under Encode — the reproducibility anchor the soak runner
+// asserts on.
+func Generate(seed uint64, opts Options) (Plan, error) {
+	if opts.Horizon <= 0 {
+		return Plan{}, fmt.Errorf("chaos: generate: horizon must be positive")
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	p := Plan{Seed: seed}
+	h := int64(opts.Horizon)
+	// Kill in [h/4, 3h/4): late enough that checkpoints precede it (the
+	// supervisor's anchored restart has something to anchor on), early enough
+	// that recovery has work left to fast-forward through.
+	p.KillAt = ids.GCount(h/4 + rng.Int63n(h/2+1))
+
+	// One partition window over the pre-kill range, possibly cutting the
+	// pilot off from peers: connects across the cut time out (recorded as
+	// errors), segments in flight park until the heal point.
+	all := append([]string{opts.Pilot}, opts.Hosts...)
+	if len(all) >= 2 && rng.Intn(2) == 0 {
+		mid := ids.GCount(rng.Int63n(h / 2))
+		width := ids.GCount(rng.Int63n(h/8) + 1)
+		a, b := splitHosts(rng, all)
+		p.Actions = append(p.Actions, Action{
+			Kind: ActPartition, At: mid, Until: mid + width, Hosts: a, HostsB: b,
+		})
+	}
+	// Directional link-loss epochs, possibly including pilot links: loss
+	// perturbs which datagram deliveries succeed, and the outcomes are
+	// recorded.
+	for n := rng.Intn(3); n > 0; n-- {
+		from := all[rng.Intn(len(all))]
+		to := all[rng.Intn(len(all))]
+		if from == to {
+			continue
+		}
+		at := ids.GCount(rng.Int63n(h))
+		width := ids.GCount(rng.Int63n(h/4) + 1)
+		p.Actions = append(p.Actions, Action{
+			Kind: ActLinkLoss, At: at, Until: at + width,
+			From: from, To: to, Rate: 0.1 + 0.5*rng.Float64(),
+		})
+	}
+	// Occasionally fail-stop one peer for good after the kill point, so
+	// recovery sometimes rejoins a degraded world.
+	if len(opts.Hosts) > 0 && rng.Intn(4) == 0 {
+		p.Actions = append(p.Actions, Action{
+			Kind:  ActCrash,
+			At:    p.KillAt + ids.GCount(rng.Int63n(h/4)+1),
+			Hosts: []string{opts.Hosts[rng.Intn(len(opts.Hosts))]},
+		})
+	}
+	sort.SliceStable(p.Actions, func(i, j int) bool { return p.Actions[i].At < p.Actions[j].At })
+	if err := p.Validate(opts.Pilot); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// splitHosts deals hosts into two non-empty sides.
+func splitHosts(rng *rand.Rand, hosts []string) (a, b []string) {
+	cut := 1 + rng.Intn(len(hosts)-1)
+	a = append(a, hosts[:cut]...)
+	b = append(b, hosts[cut:]...)
+	return a, b
+}
+
+// Encode serializes the plan deterministically (field order, little-endian,
+// length-prefixed strings): equal plans encode to equal bytes.
+func (p Plan) Encode() []byte {
+	var buf []byte
+	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	str := func(s string) {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	list := func(xs []string) {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(xs)))
+		for _, x := range xs {
+			str(x)
+		}
+	}
+	u64(p.Seed)
+	u64(uint64(p.KillAt))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Actions)))
+	for _, a := range p.Actions {
+		buf = append(buf, uint8(a.Kind))
+		u64(uint64(a.At))
+		u64(uint64(a.Until))
+		list(a.Hosts)
+		list(a.HostsB)
+		str(a.From)
+		str(a.To)
+		u64(math.Float64bits(a.Rate))
+	}
+	return buf
+}
+
+// DecodePlan is Encode's inverse.
+func DecodePlan(data []byte) (Plan, error) {
+	var p Plan
+	off := 0
+	fail := func() (Plan, error) {
+		return Plan{}, fmt.Errorf("chaos: truncated plan encoding at offset %d", off)
+	}
+	u64 := func() (uint64, bool) {
+		if off+8 > len(data) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		return v, true
+	}
+	u32 := func() (uint32, bool) {
+		if off+4 > len(data) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		return v, true
+	}
+	str := func() (string, bool) {
+		n, ok := u32()
+		if !ok || off+int(n) > len(data) {
+			return "", false
+		}
+		s := string(data[off : off+int(n)])
+		off += int(n)
+		return s, true
+	}
+	list := func() ([]string, bool) {
+		n, ok := u32()
+		if !ok {
+			return nil, false
+		}
+		var xs []string
+		for i := uint32(0); i < n; i++ {
+			s, ok := str()
+			if !ok {
+				return nil, false
+			}
+			xs = append(xs, s)
+		}
+		return xs, true
+	}
+	seed, ok := u64()
+	if !ok {
+		return fail()
+	}
+	kill, ok := u64()
+	if !ok {
+		return fail()
+	}
+	p.Seed, p.KillAt = seed, ids.GCount(kill)
+	n, ok := u32()
+	if !ok {
+		return fail()
+	}
+	for i := uint32(0); i < n; i++ {
+		if off >= len(data) {
+			return fail()
+		}
+		var a Action
+		a.Kind = ActionKind(data[off])
+		off++
+		at, ok1 := u64()
+		until, ok2 := u64()
+		if !ok1 || !ok2 {
+			return fail()
+		}
+		a.At, a.Until = ids.GCount(at), ids.GCount(until)
+		if a.Hosts, ok = list(); !ok {
+			return fail()
+		}
+		if a.HostsB, ok = list(); !ok {
+			return fail()
+		}
+		if a.From, ok = str(); !ok {
+			return fail()
+		}
+		if a.To, ok = str(); !ok {
+			return fail()
+		}
+		rate, ok := u64()
+		if !ok {
+			return fail()
+		}
+		a.Rate = math.Float64frombits(rate)
+		p.Actions = append(p.Actions, a)
+	}
+	if off != len(data) {
+		return Plan{}, fmt.Errorf("chaos: %d trailing bytes after plan encoding", len(data)-off)
+	}
+	return p, nil
+}
+
+// Record appends the plan to the set's schedule log as a chaos-plan record,
+// so the trace carries its own fault description. Call after EnableWAL and
+// before the first critical event; replay ignores the record entirely.
+func Record(logs *tracelog.Set, p Plan) {
+	logs.Schedule.Append(&tracelog.ChaosPlanEntry{Seed: p.Seed, Spec: p.Encode()})
+}
+
+// PlanFromSet recovers the recorded plan from a trace set, or ok=false when
+// the run recorded none.
+func PlanFromSet(set *tracelog.Set) (Plan, bool, error) {
+	idx, err := tracelog.BuildScheduleIndex(set.Schedule)
+	if err != nil {
+		return Plan{}, false, err
+	}
+	if idx.ChaosPlan == nil {
+		return Plan{}, false, nil
+	}
+	p, err := DecodePlan(idx.ChaosPlan.Spec)
+	if err != nil {
+		return Plan{}, false, err
+	}
+	return p, true, nil
+}
+
+// firePoint is one edge of the expanded timeline: a network mutation to apply
+// once the counter reaches gc.
+type firePoint struct {
+	gc ids.GCount
+	fn func()
+}
+
+// Engine drives a validated plan against a netsim network as the pilot VM's
+// global counter advances. Install its Observer as the recording VM's
+// EventObserver: the observer fires every due action inline (inside the
+// GC-critical section, so an action lands between two recorded events — a
+// deterministic point of the schedule) and, at KillAt, never returns —
+// freezing the VM mid-section exactly the way a fail-stop freezes a
+// process between instructions.
+type Engine struct {
+	points []firePoint
+	next   int
+	killAt ids.GCount
+	kill   func()
+}
+
+// NewEngine expands the plan's actions into counter-ordered fire points.
+// kill is invoked once at KillAt and must not return (pass nil for the
+// default block-forever); netsim faults target net.
+func NewEngine(p Plan, pilot string, net *netsim.Network, kill func()) (*Engine, error) {
+	if err := p.Validate(pilot); err != nil {
+		return nil, err
+	}
+	if kill == nil {
+		kill = func() { select {} }
+	}
+	e := &Engine{killAt: p.KillAt, kill: kill}
+	for _, a := range p.Actions {
+		a := a
+		switch a.Kind {
+		case ActCrash:
+			e.points = append(e.points, firePoint{a.At, func() { net.CrashHost(a.Hosts[0]) }})
+		case ActPartition:
+			e.points = append(e.points, firePoint{a.At, func() { net.Partition(a.Hosts, a.HostsB) }})
+			e.points = append(e.points, firePoint{a.Until, net.Heal})
+		case ActLinkLoss:
+			e.points = append(e.points, firePoint{a.At, func() { net.SetLinkLoss(a.From, a.To, a.Rate) }})
+			e.points = append(e.points, firePoint{a.Until, func() { net.SetLinkLoss(a.From, a.To, 0) }})
+		}
+	}
+	sort.SliceStable(e.points, func(i, j int) bool { return e.points[i].gc < e.points[j].gc })
+	return e, nil
+}
+
+// Observer returns the event-observer closure. The VM calls it under its
+// scheduler lock with strictly increasing counter values, so the cursor needs
+// no synchronization of its own.
+func (e *Engine) Observer() func(ids.ThreadNum, ids.GCount) {
+	return func(_ ids.ThreadNum, gc ids.GCount) {
+		for e.next < len(e.points) && e.points[e.next].gc <= gc {
+			e.points[e.next].fn()
+			e.next++
+		}
+		if e.killAt > 0 && gc >= e.killAt {
+			e.kill() // never returns
+		}
+	}
+}

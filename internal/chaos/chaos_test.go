@@ -1,0 +1,192 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/tracelog"
+)
+
+var genOpts = Options{Pilot: "prim", Hosts: []string{"p1", "p2"}, Horizon: 2000}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		a, err := Generate(seed, genOpts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := Generate(seed, genOpts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if string(a.Encode()) != string(b.Encode()) {
+			t.Fatalf("seed %d expands to different plans across calls", seed)
+		}
+		if a.KillAt < 2000/4 || a.KillAt >= 3*2000/4+1 {
+			t.Fatalf("seed %d: KillAt %d outside the middle band of the horizon", seed, a.KillAt)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	seen := map[string]uint64{}
+	for seed := uint64(1); seed <= 20; seed++ {
+		p, err := Generate(seed, genOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := string(p.Encode())
+		if prev, dup := seen[enc]; dup {
+			t.Fatalf("seeds %d and %d expand to the identical plan", prev, seed)
+		}
+		seen[enc] = seed
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		p, err := Generate(seed, genOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := DecodePlan(p.Encode())
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		if string(q.Encode()) != string(p.Encode()) {
+			t.Fatalf("seed %d: decode(encode(p)) != p", seed)
+		}
+	}
+}
+
+func TestDecodeRejectsMangledPlans(t *testing.T) {
+	p, err := Generate(3, genOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := p.Encode()
+	if _, err := DecodePlan(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated encoding accepted")
+	}
+	if _, err := DecodePlan(append(append([]byte{}, enc...), 0)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		want string
+	}{
+		{"crash pilot", Plan{Actions: []Action{
+			{Kind: ActCrash, At: 1, Hosts: []string{"prim"}},
+		}}, "cannot crash pilot"},
+		{"crash no host", Plan{Actions: []Action{
+			{Kind: ActCrash, At: 1},
+		}}, "exactly one host"},
+		{"partition shared host", Plan{Actions: []Action{
+			{Kind: ActPartition, At: 1, Until: 2, Hosts: []string{"a"}, HostsB: []string{"a"}},
+		}}, "both sides"},
+		{"partition empty window", Plan{Actions: []Action{
+			{Kind: ActPartition, At: 5, Until: 5, Hosts: []string{"a"}, HostsB: []string{"b"}},
+		}}, "empty"},
+		{"overlapping partitions", Plan{Actions: []Action{
+			{Kind: ActPartition, At: 1, Until: 10, Hosts: []string{"a"}, HostsB: []string{"b"}},
+			{Kind: ActPartition, At: 5, Until: 15, Hosts: []string{"a"}, HostsB: []string{"b"}},
+		}}, "overlap"},
+		{"loss rate out of range", Plan{Actions: []Action{
+			{Kind: ActLinkLoss, At: 1, Until: 2, From: "a", To: "b", Rate: 1.5},
+		}}, "outside [0,1]"},
+		{"unknown kind", Plan{Actions: []Action{
+			{Kind: ActionKind(99), At: 1},
+		}}, "unknown kind"},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Validate("prim")
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestRecordPlanRoundTrip(t *testing.T) {
+	p, err := Generate(11, genOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := tracelog.NewSet()
+	set.Schedule.Append(&tracelog.VMMeta{VM: 1, World: ids.OpenWorld})
+	Record(set, p)
+	set.Schedule.Append(&tracelog.Interval{Thread: 0, First: 0, Last: 0})
+	set.Schedule.Append(&tracelog.VMMeta{VM: 1, Threads: 1, FinalGC: 1})
+
+	q, ok, err := PlanFromSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("recorded plan not found")
+	}
+	if string(q.Encode()) != string(p.Encode()) {
+		t.Fatal("recorded plan does not round-trip")
+	}
+
+	empty := tracelog.NewSet()
+	empty.Schedule.Append(&tracelog.VMMeta{VM: 2, Threads: 1, FinalGC: 0})
+	if _, ok, err := PlanFromSet(empty); err != nil || ok {
+		t.Fatalf("plan-less set: ok=%v err=%v, want false/nil", ok, err)
+	}
+}
+
+// The engine must fire each action at its counter, in order, and invoke kill
+// exactly once when the counter reaches KillAt.
+func TestEngineFiresInCounterOrder(t *testing.T) {
+	net := netsim.NewNetwork(netsim.Config{Seed: 1})
+	plan := Plan{
+		Seed:   1,
+		KillAt: 100,
+		Actions: []Action{
+			{Kind: ActPartition, At: 10, Until: 20, Hosts: []string{"prim"}, HostsB: []string{"p1"}},
+			{Kind: ActLinkLoss, At: 30, Until: 40, From: "p1", To: "prim", Rate: 0.5},
+			{Kind: ActCrash, At: 120, Hosts: []string{"p1"}},
+		},
+	}
+	killed := false
+	eng, err := NewEngine(plan, "prim", net, func() { killed = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := eng.Observer()
+
+	obs(0, 5)
+	if got := net.FaultStats(); got.PartitionedPairs != 0 {
+		t.Fatal("partition fired early")
+	}
+	obs(0, 10)
+	if got := net.FaultStats(); got.PartitionedPairs != 1 {
+		t.Fatal("partition did not fire at its counter")
+	}
+	obs(0, 25) // heal point (20) passed while no event landed exactly on it
+	if got := net.FaultStats(); got.PartitionedPairs != 0 {
+		t.Fatal("heal did not catch up after its counter passed")
+	}
+	obs(0, 99)
+	if killed {
+		t.Fatal("killed before KillAt")
+	}
+	obs(0, 100)
+	if !killed {
+		t.Fatal("kill did not fire at KillAt")
+	}
+}
+
+func TestEngineRejectsInvalidPlan(t *testing.T) {
+	net := netsim.NewNetwork(netsim.Config{Seed: 1})
+	bad := Plan{Actions: []Action{{Kind: ActCrash, At: 1, Hosts: []string{"prim"}}}}
+	if _, err := NewEngine(bad, "prim", net, nil); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package core_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/tracelog"
+)
+
+// recordCheckpointedWAL records a single-thread run with periodic checkpoints
+// to a WAL, truncates at the retention depth, and returns the salvaged set.
+func recordCheckpointedWAL(t *testing.T, keep int) (*tracelog.Set, *tracelog.RecoveryReport) {
+	t.Helper()
+	vm, err := core.NewVM(core.Config{ID: 1, Mode: ids.Record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "node.wal")
+	if err := vm.EnableWAL(path, tracelog.WALOptions{SyncEvery: 1}); err != nil {
+		t.Fatal(err)
+	}
+	vm.Start(func(main *core.Thread) {
+		var x core.SharedInt
+		for r := 0; r < 4; r++ {
+			for i := 0; i < 5; i++ {
+				x.Set(main, x.Get(main)+1)
+			}
+			checkpoint.Take(main, func() []byte { return []byte("state") })
+		}
+	})
+	vm.Wait()
+	if _, err := vm.TruncateWAL(keep); err != nil {
+		t.Fatalf("TruncateWAL: %v", err)
+	}
+	set, rep, err := tracelog.RecoverFile(path)
+	if err != nil {
+		t.Fatalf("RecoverFile: %v", err)
+	}
+	if rep.BaseGC == 0 {
+		t.Fatal("truncation left BaseGC zero")
+	}
+	return set, rep
+}
+
+// A truncated log has no records below its base: replay must refuse to start
+// from zero with a clear error instead of diverging or deadlocking.
+func TestReplayOfTruncatedLogRequiresResume(t *testing.T) {
+	set, rep := recordCheckpointedWAL(t, 1)
+
+	_, err := core.NewVM(core.Config{ID: 1, Mode: ids.Replay, ReplayLogs: set})
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("replay-from-zero of truncated log: err = %v, want truncation error", err)
+	}
+
+	// A resume point at or below the base is equally unreplayable.
+	low := core.ResumePoint{GC: rep.BaseGC}
+	_, err = core.NewVM(core.Config{ID: 1, Mode: ids.Replay, ReplayLogs: set, Resume: &low})
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("resume at the base: err = %v, want truncation error", err)
+	}
+
+	// Resuming from a retained checkpoint replays the surviving suffix.
+	cp, err := checkpoint.Latest(set)
+	if err != nil {
+		t.Fatalf("no checkpoint survived truncation: %v", err)
+	}
+	vm, err := core.NewVM(core.Config{
+		ID: 1, Mode: ids.Replay, ReplayLogs: set,
+		Resume:       &cp.Resume,
+		StopAtLogEnd: true,
+		StallTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("resume from retained checkpoint: %v", err)
+	}
+	vm.Start(func(main *core.Thread) {
+		var x core.SharedInt
+		for r := 0; r < 4; r++ {
+			for i := 0; i < 5; i++ {
+				x.Set(main, x.Get(main)+1)
+			}
+			checkpoint.Take(main, func() []byte { return []byte("state") })
+		}
+	})
+	vm.Wait()
+}
+
+// Checkpoint resume fast-forwards along the global schedule; sharded order has
+// no such schedule, and the config must say so up front.
+func TestShardedResumeRejectedUpFront(t *testing.T) {
+	rp := core.ResumePoint{GC: 10}
+	_, err := core.NewVM(core.Config{
+		ID: 1, Mode: ids.Replay,
+		ReplayLogs: tracelog.NewSet(),
+		OrderMode:  ids.OrderSharded,
+		Resume:     &rp,
+	})
+	if err == nil || !strings.Contains(err.Error(), "requires OrderGlobal") {
+		t.Fatalf("sharded resume: err = %v, want clear OrderGlobal requirement", err)
+	}
+}
+
+func TestTruncateWALRequiresWAL(t *testing.T) {
+	vm, err := core.NewVM(core.Config{ID: 1, Mode: ids.Record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.TruncateWAL(1); err == nil || !strings.Contains(err.Error(), "EnableWAL") {
+		t.Fatalf("TruncateWAL without WAL: err = %v, want EnableWAL requirement", err)
+	}
+
+	// Replay and passthrough modes are free no-ops.
+	rvm, err := core.NewVM(core.Config{ID: 2, Mode: ids.Passthrough})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := rvm.TruncateWAL(1)
+	if st != nil || err != nil {
+		t.Fatalf("passthrough TruncateWAL = %v/%v, want nil/nil", st, err)
+	}
+}

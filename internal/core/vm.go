@@ -310,6 +310,9 @@ func NewVM(cfg Config) (*VM, error) {
 		if sched.OrderMode != cfg.OrderMode {
 			return nil, fmt.Errorf("core: vm %d: recorded order mode %v, configured %v", cfg.ID, sched.OrderMode, cfg.OrderMode)
 		}
+		if sched.BaseGC > 0 && (cfg.Resume == nil || cfg.Resume.GC <= sched.BaseGC) {
+			return nil, fmt.Errorf("core: vm %d: log truncated at counter %d — events below the base were compacted away, so replay must resume from a retained checkpoint at or past it", cfg.ID, sched.BaseGC)
+		}
 		netIdx, err := tracelog.BuildNetworkIndex(cfg.ReplayLogs.Network)
 		if err != nil {
 			return nil, fmt.Errorf("core: vm %d: network log: %w", cfg.ID, err)
@@ -493,6 +496,45 @@ func (vm *VM) noteOpenIntervalsLocked() {
 		vm.logs.Schedule.Append(&tracelog.OpenInterval{Thread: t.num, First: t.intFirst, Last: t.intLast})
 		t.noted, t.noteFirst, t.noteLast = true, t.intFirst, t.intLast
 	}
+}
+
+// TruncateWAL compacts the attached WAL so it starts at a retained
+// checkpoint, dropping records a checkpoint-resumed replay can no longer
+// request: keep=1 anchors at the latest checkpoint, keep=N retains the N
+// latest as resume points. Call from the checkpoint taker at the same
+// quiescent point checkpoint.Take requires — typically right after taking
+// the checkpoint — so every other thread has finished and the anchor's
+// thread bookkeeping fully describes liveness. In replay and passthrough
+// modes it is a no-op returning (nil, nil), letting application code call
+// it unconditionally alongside checkpoint.Take; before `keep` checkpoints
+// exist it reports tracelog.ErrNoAnchor.
+func (vm *VM) TruncateWAL(keep int) (*tracelog.TruncateStats, error) {
+	if vm.mode != ids.Record {
+		return nil, nil
+	}
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	if vm.logs.WAL() == nil {
+		return nil, fmt.Errorf("core: vm %d: TruncateWAL without EnableWAL", vm.id)
+	}
+	// Flush every open schedule interval first: the compacted stream keeps no
+	// OpenInterval notes, so coverage of [base, now) must be carried entirely
+	// by flushed intervals. Splitting an interval is replay-safe — consecutive
+	// same-thread intervals replay identically to one merged interval.
+	vm.threadsMu.Lock()
+	threads := vm.threads
+	vm.threadsMu.Unlock()
+	for _, t := range threads {
+		if t.intOpen && !t.finished {
+			t.flushIntervalLocked()
+		}
+	}
+	st, err := vm.logs.TruncateWAL(keep)
+	if err != nil {
+		return nil, err
+	}
+	vm.metrics.IncWALTruncate()
+	return st, nil
 }
 
 // NetworkIndex exposes the replay-phase network log index (nil unless

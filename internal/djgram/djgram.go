@@ -199,6 +199,8 @@ func (e *Env) Bind(t *core.Thread, port uint16) (*DatagramSocket, error) {
 		// the VM's fault counters.
 		rc := rudp.New(s, rudp.Config{
 			OnUnreachable: func(netsim.Addr) { e.vm.Metrics().IncPeerUnreachable() },
+			OnRetransmit:  e.vm.Metrics().IncRudpRetransmit,
+			OnBackoffCap:  e.vm.Metrics().IncRudpBackoffCap,
 		})
 		return e.newSocket(s.Addr(), s, rc), nil
 	}

@@ -1,0 +1,428 @@
+package kvapp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/djsock"
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/super"
+	"repro/internal/tracelog"
+)
+
+// Supervised-primary mode: the full robustness loop in one run.
+//
+// A single open-world primary VM ("prim") records a round-structured workload
+// against two uninstrumented echo peers, with a durable WAL, a checkpoint at
+// the end of every round, and a checkpoint-anchored WAL truncation after each
+// checkpoint. A seeded chaos plan drives netsim faults off the primary's
+// global counter and freezes the VM mid-critical-section at its kill point —
+// the in-situ analogue of kill -9. A supervisor watching event-counter
+// progress detects the fail-stop, repairs the WAL, and restarts the primary
+// as a replay resumed from the latest salvaged checkpoint, running to the end
+// of the salvaged log (the crash point). The run then replays the same
+// salvaged log a second time from its oldest retained anchor — the
+// undisturbed baseline — and asserts both replays reconstruct the identical
+// store.
+//
+// Open world is what makes the recovered replay standalone: every byte the
+// primary read was recorded, so neither replay needs the echo peers or a
+// live network.
+
+const (
+	echoPort        = 7200
+	supWorkers      = 2 // round workers, one per peer
+	defaultHorizon  = 2000
+	defaultKeep     = 2
+	supervisedWALFn = "primary.wal"
+)
+
+// SupervisedConfig sizes one supervised chaos run.
+type SupervisedConfig struct {
+	// Dir is the working directory for the WAL (created if needed).
+	Dir string
+	// Seed expands into the fault schedule (chaos.Generate) and seeds netsim.
+	Seed uint64
+	// Horizon is the counter range faults spread over. 0 means 2000.
+	Horizon ids.GCount
+	// Keep is the checkpoint retention for WAL truncation. 0 means 2.
+	Keep int
+	// Heartbeat / FailAfter tune the supervisor (see super.Config). FailAfter
+	// must comfortably exceed netsim's 50ms partition connect-timeout, or a
+	// worker legitimately waiting one out reads as a crash; 0 means 400ms.
+	Heartbeat time.Duration
+	FailAfter time.Duration
+	// Plan overrides the generated schedule (Seed still seeds netsim).
+	Plan *chaos.Plan
+}
+
+// SupervisedResult reports one supervised chaos run.
+type SupervisedResult struct {
+	// Plan is the fault schedule the run executed.
+	Plan chaos.Plan
+	// Outcome is the supervision episode (always Detected in this mode).
+	Outcome *super.Outcome
+	// RecoveredDigest is the store digest of the supervisor's restart replay
+	// (resumed from the latest salvaged checkpoint, run to the crash point).
+	RecoveredDigest uint64
+	// BaselineDigest is the store digest of the undisturbed replay of the
+	// same salvaged log from its oldest retained anchor (or from zero).
+	BaselineDigest uint64
+	// Converged reports RecoveredDigest == BaselineDigest.
+	Converged bool
+	// Rounds is how many checkpoint rounds completed before the crash.
+	Rounds int
+	// WALSizes samples the on-disk WAL size right after each truncation —
+	// the boundedness evidence (one entry per completed truncation).
+	WALSizes []int64
+	// TruncateStats collects each truncation's kept/dropped accounting.
+	TruncateStats []*tracelog.TruncateStats
+	// Metrics is the supervisor's metric snapshot (recoveries, restarts,
+	// fallbacks, MTTR).
+	Metrics obs.Snapshot
+}
+
+// RunSupervised executes one seeded chaos-supervision episode.
+func RunSupervised(cfg SupervisedConfig) (*SupervisedResult, error) {
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = defaultHorizon
+	}
+	if cfg.Keep <= 0 {
+		cfg.Keep = defaultKeep
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 400 * time.Millisecond
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("kvapp: supervised: %w", err)
+	}
+	peers := []string{"p1", "p2"}
+	plan := chaos.Plan{}
+	if cfg.Plan != nil {
+		plan = *cfg.Plan
+		if err := plan.Validate("prim"); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		plan, err = chaos.Generate(cfg.Seed, chaos.Options{
+			Pilot: "prim", Hosts: peers, Horizon: cfg.Horizon,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &SupervisedResult{Plan: plan}
+
+	// Live network with mild ambient chaos; the plan layers faults on top.
+	net := netsim.NewNetwork(netsim.Config{
+		Seed: int64(cfg.Seed),
+		Chaos: netsim.Chaos{
+			ConnectDelayMax: 200 * time.Microsecond,
+			DeliverDelayMax: 100 * time.Microsecond,
+		},
+	})
+	for _, p := range peers {
+		if err := startEchoPeer(net, p, echoPort); err != nil {
+			return nil, err
+		}
+	}
+
+	engine, err := chaos.NewEngine(plan, "prim", net, nil)
+	if err != nil {
+		return nil, err
+	}
+	walPath := filepath.Join(cfg.Dir, supervisedWALFn)
+	vm, err := core.NewVM(core.Config{
+		ID: 1, Mode: ids.Record, World: ids.OpenWorld,
+		EventObserver: engine.Observer(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := vm.EnableWAL(walPath, tracelog.WALOptions{SyncEvery: 8}); err != nil {
+		return nil, err
+	}
+	chaos.Record(vm.Logs(), plan)
+
+	supMetrics := &obs.Metrics{}
+	var recovered *replayOutcome
+	sup := super.Watch(vm, super.Config{
+		WALPath:   walPath,
+		Heartbeat: cfg.Heartbeat,
+		FailAfter: cfg.FailAfter,
+		Metrics:   supMetrics,
+		Restart: func(rec *super.Recovery) error {
+			out, err := replaySalvaged(rec.Logs, rec.Checkpoint)
+			if err != nil {
+				return err
+			}
+			recovered = out
+			return nil
+		},
+	})
+
+	// The recorded workload: rounds forever, killed by the chaos engine. The
+	// frozen VM's goroutines are leaked deliberately — that is what fail-stop
+	// means here; the supervisor, not the workload, ends the episode.
+	afterCkpt := func(round int) {
+		st, err := vm.TruncateWAL(cfg.Keep)
+		if err != nil {
+			// ErrNoAnchor in the first keep-1 rounds is expected; anything
+			// else degrades durability but must not stop recording.
+			return
+		}
+		if st != nil {
+			res.TruncateStats = append(res.TruncateStats, st)
+			if sz, err := vm.Logs().WAL().Size(); err == nil {
+				res.WALSizes = append(res.WALSizes, sz)
+			}
+			res.Rounds = round + 1
+		}
+	}
+	runSupervisedWorkload(vm, net, map[string]string{}, 0, afterCkpt)
+
+	outcome, err := sup.Wait()
+	if err != nil {
+		return res, err
+	}
+	res.Outcome = outcome
+	if outcome == nil || !outcome.Detected {
+		return res, fmt.Errorf("kvapp: supervised: VM completed without the chaos kill firing (plan kill at %d)", plan.KillAt)
+	}
+	if recovered == nil {
+		return res, fmt.Errorf("kvapp: supervised: restart produced no replay outcome")
+	}
+	res.RecoveredDigest = recovered.digest
+
+	// Undisturbed baseline: the same salvaged log replayed from its oldest
+	// retained anchor — from zero when the WAL was never truncated, else from
+	// the truncation-base checkpoint.
+	baseline, err := replayBaseline(recovered.logs, outcome.Recovery.Report.BaseGC)
+	if err != nil {
+		return res, fmt.Errorf("kvapp: supervised: baseline replay: %w", err)
+	}
+	res.BaselineDigest = baseline.digest
+	res.Converged = res.RecoveredDigest == res.BaselineDigest
+	res.Metrics = supMetrics.Snapshot()
+	return res, nil
+}
+
+// replayOutcome is one replay of the salvaged log.
+type replayOutcome struct {
+	digest uint64
+	logs   *tracelog.Set
+}
+
+// replaySalvaged replays the salvaged set resumed from cp (nil = from zero),
+// running to the end of the log — the supervisor's restart path.
+func replaySalvaged(logs *tracelog.Set, cp *checkpoint.Snapshot) (*replayOutcome, error) {
+	store := map[string]string{}
+	startRound := 0
+	var resume *core.ResumePoint
+	if cp != nil {
+		r, s, err := decodeSupState(cp.Data)
+		if err != nil {
+			return nil, err
+		}
+		startRound, store = r, s
+		rp := cp.Resume
+		resume = &rp
+	}
+	vm, err := core.NewVM(core.Config{
+		ID: 1, Mode: ids.Replay, World: ids.OpenWorld,
+		ReplayLogs: logs, Resume: resume, StopAtLogEnd: true,
+		StallTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Open-world replay: all socket traffic is served from the log, so the
+	// network is never dialed; a fresh empty one satisfies the env plumbing.
+	runSupervisedWorkload(vm, netsim.NewNetwork(netsim.Config{}), store, startRound, nil)
+	vm.Wait()
+	return &replayOutcome{digest: digestStore(store), logs: logs}, nil
+}
+
+// replayBaseline replays the salvaged set from its oldest usable anchor:
+// from zero for an untruncated log, else from the checkpoint at the
+// truncation base.
+func replayBaseline(logs *tracelog.Set, baseGC ids.GCount) (*replayOutcome, error) {
+	if baseGC == 0 {
+		return replaySalvaged(logs, nil)
+	}
+	cps, err := checkpoint.List(logs)
+	if err != nil {
+		return nil, err
+	}
+	if len(cps) == 0 {
+		return nil, fmt.Errorf("kvapp: truncated log (base %d) with no checkpoint", baseGC)
+	}
+	return replaySalvaged(logs, cps[0])
+}
+
+// runSupervisedWorkload starts the primary's round loop on vm. Each round
+// spawns one worker per peer (connect, write a round-unique payload, read the
+// echo, record the outcome in the monitored store), joins them, checkpoints
+// the store at the quiescent point, then hands the round to afterCkpt
+// (record-mode only: truncation + WAL-size sampling — no critical events, so
+// record and replay schedules stay aligned). The loop is unbounded: in record
+// mode the chaos engine kills it; in replay StopAtLogEnd stops it at the
+// crash point.
+func runSupervisedWorkload(vm *core.VM, net *netsim.Network, store map[string]string, startRound int, afterCkpt func(round int)) {
+	env := djsock.NewEnv(vm, net, "prim")
+	mon := core.NewMonitor()
+	mon.Register(vm)
+	peers := []string{"p1", "p2"}
+	vm.Start(func(main *core.Thread) {
+		for r := startRound; ; r++ {
+			workers := make([]*core.Thread, supWorkers)
+			for w := 0; w < supWorkers; w++ {
+				w := w
+				r := r
+				workers[w] = main.Spawn(func(t *core.Thread) {
+					// Bounded keyspace, round-unique payloads: the store (and
+					// with it each checkpoint's state, and with that the
+					// truncated WAL) stays a bounded size while the digest
+					// still depends on exactly which round's write won each
+					// key.
+					key := fmt.Sprintf("k%02d", (r*supWorkers+w)%16)
+					val := echoRoundTrip(t, env, peers[w%len(peers)], fmt.Sprintf("r%d.w%d", r, w))
+					mon.Enter(t)
+					store[key] = val
+					mon.Exit(t)
+				})
+			}
+			for _, w := range workers {
+				main.Join(w)
+			}
+			r := r
+			checkpoint.Take(main, func() []byte { return encodeSupState(r+1, store) })
+			if afterCkpt != nil {
+				afterCkpt(r)
+			}
+		}
+	})
+}
+
+// echoRoundTrip runs one worker's network interaction and folds every
+// outcome — including faults — into a deterministic value. Failures are
+// data, not aborts: a connect timeout across a partition cut records
+// "unreachable", and the replayed run reproduces the same recorded error.
+func echoRoundTrip(t *core.Thread, env *djsock.Env, peer, payload string) string {
+	s, err := env.Connect(t, netsim.Addr{Host: peer, Port: echoPort})
+	if err != nil {
+		return "unreachable"
+	}
+	defer s.Close(t)
+	if _, err := s.Write(t, []byte(payload)); err != nil {
+		return "write-error"
+	}
+	buf := make([]byte, len(payload))
+	if err := s.ReadFull(t, buf); err != nil {
+		return "read-error"
+	}
+	return string(buf)
+}
+
+// startEchoPeer runs a plain, uninstrumented echo server on the simulated
+// host: accepted connections echo bytes until EOF or reset. Peers are not
+// DJVMs — the open-world primary records everything it reads from them.
+func startEchoPeer(net *netsim.Network, host string, port uint16) error {
+	l, err := net.Listen(host, port)
+	if err != nil {
+		return err
+	}
+	go func() {
+		for {
+			s, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer s.Close()
+				buf := make([]byte, 512)
+				for {
+					n, err := s.Read(buf)
+					if n > 0 {
+						if _, werr := s.Write(buf[:n]); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return nil
+}
+
+// encodeSupState serializes the resumable workload state: the next round
+// number and the store contents in key order.
+func encodeSupState(round int, store map[string]string) []byte {
+	keys := make([]string, 0, len(store))
+	for k := range store {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(round))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
+	str := func(s string) {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	for _, k := range keys {
+		str(k)
+		str(store[k])
+	}
+	return buf
+}
+
+// decodeSupState is encodeSupState's inverse.
+func decodeSupState(data []byte) (int, map[string]string, error) {
+	off := 0
+	u32 := func() (uint32, bool) {
+		if off+4 > len(data) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		return v, true
+	}
+	str := func() (string, bool) {
+		n, ok := u32()
+		if !ok || off+int(n) > len(data) {
+			return "", false
+		}
+		s := string(data[off : off+int(n)])
+		off += int(n)
+		return s, true
+	}
+	round, ok1 := u32()
+	count, ok2 := u32()
+	if !ok1 || !ok2 {
+		return 0, nil, fmt.Errorf("kvapp: truncated checkpoint state")
+	}
+	store := make(map[string]string, count)
+	for i := uint32(0); i < count; i++ {
+		k, ok1 := str()
+		v, ok2 := str()
+		if !ok1 || !ok2 {
+			return 0, nil, fmt.Errorf("kvapp: truncated checkpoint state")
+		}
+		store[k] = v
+	}
+	return int(round), store, nil
+}

@@ -67,7 +67,9 @@ func CheckSet(set *tracelog.Set) *Report {
 }
 
 // checkSchedule verifies the logical schedule intervals partition exactly
-// the counter range [0, FinalGC).
+// the counter range [BaseGC, FinalGC) — BaseGC is zero for an untruncated
+// log, and the checkpoint-truncation base for a compacted one, where every
+// record below it was deliberately dropped.
 func checkSchedule(rep *Report, vm ids.DJVMID, sched *tracelog.ScheduleIndex) {
 	type span struct {
 		iv     tracelog.Interval
@@ -79,11 +81,15 @@ func checkSchedule(rep *Report, vm ids.DJVMID, sched *tracelog.ScheduleIndex) {
 			rep.addf(vm, "schedule has intervals for thread %d but meta records %d threads", tn, sched.Meta.Threads)
 		}
 		for _, iv := range ivs {
+			if iv.Last < sched.BaseGC {
+				rep.addf(vm, "interval [%d,%d] of thread %d lies below truncation base %d", iv.First, iv.Last, tn, sched.BaseGC)
+				continue
+			}
 			spans = append(spans, span{iv: iv, thread: tn})
 		}
 	}
 	sort.Slice(spans, func(i, j int) bool { return spans[i].iv.First < spans[j].iv.First })
-	next := ids.GCount(0)
+	next := sched.BaseGC
 	for _, s := range spans {
 		switch {
 		case s.iv.First < next:
@@ -102,6 +108,9 @@ func checkSchedule(rep *Report, vm ids.DJVMID, sched *tracelog.ScheduleIndex) {
 		if gc >= sched.Meta.FinalGC {
 			rep.addf(vm, "notify record at counter %d beyond final counter %d", gc, sched.Meta.FinalGC)
 		}
+		if gc < sched.BaseGC {
+			rep.addf(vm, "notify record at counter %d below truncation base %d", gc, sched.BaseGC)
+		}
 		for _, tn := range woken {
 			if uint32(tn) >= sched.Meta.Threads {
 				rep.addf(vm, "notify at counter %d wakes unknown thread %d", gc, tn)
@@ -112,11 +121,17 @@ func checkSchedule(rep *Report, vm ids.DJVMID, sched *tracelog.ScheduleIndex) {
 		if gc >= sched.Meta.FinalGC {
 			rep.addf(vm, "timed-wait record at counter %d beyond final counter %d", gc, sched.Meta.FinalGC)
 		}
+		if gc < sched.BaseGC {
+			rep.addf(vm, "timed-wait record at counter %d below truncation base %d", gc, sched.BaseGC)
+		}
 	}
 	var lastTS ids.GCount
 	for i, ts := range sched.Timestamps {
 		if ts.GC > sched.Meta.FinalGC {
 			rep.addf(vm, "timestamp record at counter %d beyond final counter %d", ts.GC, sched.Meta.FinalGC)
+		}
+		if ts.GC < sched.BaseGC {
+			rep.addf(vm, "timestamp record at counter %d below truncation base %d", ts.GC, sched.BaseGC)
 		}
 		if i > 0 && ts.GC < lastTS {
 			rep.addf(vm, "timestamps out of order at counter %d", ts.GC)
@@ -128,12 +143,31 @@ func checkSchedule(rep *Report, vm ids.DJVMID, sched *tracelog.ScheduleIndex) {
 		if cp.GC >= sched.Meta.FinalGC {
 			rep.addf(vm, "checkpoint at counter %d beyond final counter %d", cp.GC, sched.Meta.FinalGC)
 		}
+		if cp.GC < sched.BaseGC {
+			rep.addf(vm, "checkpoint at counter %d below truncation base %d", cp.GC, sched.BaseGC)
+		}
 		if i > 0 && cp.GC <= lastCP {
 			rep.addf(vm, "checkpoints out of order at counter %d", cp.GC)
 		}
 		lastCP = cp.GC
 		if uint32(cp.TakerThread) >= sched.Meta.Threads {
 			rep.addf(vm, "checkpoint taken by unknown thread %d", cp.TakerThread)
+		}
+	}
+	// A truncated log must retain its anchor: the checkpoint whose counter
+	// equals the base is the only resume point guaranteed to exist, and
+	// truncation always keeps it. A compacted log without it is unreplayable
+	// (no checkpoint at or past the base may exist at all).
+	if sched.BaseGC > 0 {
+		anchored := false
+		for _, cp := range sched.Checkpoints {
+			if cp.GC == sched.BaseGC {
+				anchored = true
+				break
+			}
+		}
+		if !anchored {
+			rep.addf(vm, "log truncated at counter %d but no checkpoint anchors that base", sched.BaseGC)
 		}
 	}
 	checkObjOrder(rep, vm, sched)
@@ -240,6 +274,10 @@ func checkDatagram(rep *Report, vm ids.DJVMID, sched *tracelog.ScheduleIndex, id
 		if entry.ReceiverGC >= sched.Meta.FinalGC {
 			rep.addf(vm, "datagram-recv %v at counter %d beyond final counter %d",
 				ev, entry.ReceiverGC, sched.Meta.FinalGC)
+		}
+		if entry.ReceiverGC < sched.BaseGC {
+			rep.addf(vm, "datagram-recv %v at counter %d below truncation base %d",
+				ev, entry.ReceiverGC, sched.BaseGC)
 		}
 		if entry.Datagram.VM == vm {
 			rep.addf(vm, "datagram-recv %v names this same VM as sender", ev)

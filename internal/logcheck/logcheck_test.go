@@ -5,6 +5,9 @@ import (
 	"testing"
 	"time"
 
+	"path/filepath"
+
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/djsock"
 	"repro/internal/ids"
@@ -203,5 +206,108 @@ func TestDuplicateVMIDDetected(t *testing.T) {
 	rep := CheckWorld([]*tracelog.Set{a, b})
 	if !findingsContain(rep, "duplicate DJVM id") {
 		t.Errorf("duplicate id not detected: %v", rep.Findings)
+	}
+}
+
+// truncatedSet builds a synthetic checkpoint-truncated schedule: a base
+// marker, optionally the anchor checkpoint at the base, and intervals
+// covering exactly [base, FinalGC).
+func truncatedSet(base ids.GCount, withAnchor bool) *tracelog.Set {
+	set := tracelog.NewSet()
+	set.Schedule.Append(&tracelog.VMMeta{VM: 1, Threads: 1, FinalGC: 20})
+	set.Schedule.Append(&tracelog.TruncationEntry{BaseGC: base})
+	if withAnchor {
+		set.Schedule.Append(&tracelog.CheckpointEntry{GC: base, NextThread: 1, TakerThread: 0, MainEventNum: 3, State: []byte("s")})
+	}
+	set.Schedule.Append(&tracelog.Interval{Thread: 0, First: base, Last: 19})
+	return set
+}
+
+func TestTruncatedSetPasses(t *testing.T) {
+	if rep := CheckSet(truncatedSet(8, true)); !rep.OK() {
+		t.Errorf("healthy truncated set flagged: %v", rep.Findings)
+	}
+}
+
+func TestTruncatedSetMissingAnchorDetected(t *testing.T) {
+	rep := CheckSet(truncatedSet(8, false))
+	if !findingsContain(rep, "no checkpoint anchors") {
+		t.Errorf("missing anchor not detected: %v", rep.Findings)
+	}
+}
+
+func TestTruncatedSetBelowBaseDetected(t *testing.T) {
+	set := truncatedSet(8, true)
+	set.Schedule.Append(&tracelog.Notify{GC: 4, Woken: []ids.ThreadNum{0}})
+	rep := CheckSet(set)
+	if !findingsContain(rep, "below truncation base") {
+		t.Errorf("below-base notify not detected: %v", rep.Findings)
+	}
+}
+
+func TestTruncatedIntervalBelowBaseDetected(t *testing.T) {
+	set := tracelog.NewSet()
+	set.Schedule.Append(&tracelog.VMMeta{VM: 1, Threads: 1, FinalGC: 20})
+	set.Schedule.Append(&tracelog.TruncationEntry{BaseGC: 8})
+	set.Schedule.Append(&tracelog.CheckpointEntry{GC: 8, NextThread: 1, TakerThread: 0, MainEventNum: 3, State: []byte("s")})
+	set.Schedule.Append(&tracelog.Interval{Thread: 0, First: 2, Last: 5}) // survived below the base
+	set.Schedule.Append(&tracelog.Interval{Thread: 0, First: 8, Last: 19})
+	rep := CheckSet(set)
+	if !findingsContain(rep, "below truncation base") {
+		t.Errorf("below-base interval not detected: %v", rep.Findings)
+	}
+}
+
+func TestTruncatedDatagramBelowBaseDetected(t *testing.T) {
+	set := truncatedSet(8, true)
+	set.Datagram.Append(&tracelog.DatagramRecvEntry{
+		EventID:    ids.NetworkEventID{Thread: 0, Event: 0},
+		ReceiverGC: 3, // below base 8
+		Datagram:   ids.DGNetworkEventID{VM: 2, GC: 1},
+	})
+	rep := CheckSet(set)
+	if !findingsContain(rep, "below truncation base") {
+		t.Errorf("below-base datagram not detected: %v", rep.Findings)
+	}
+}
+
+// A WAL truncated by the real compaction path must salvage into a set the
+// checker accepts: TruncationEntry present, anchor checkpoint retained,
+// intervals starting exactly at the base.
+func TestRealTruncatedWALPasses(t *testing.T) {
+	vm, err := core.NewVM(core.Config{ID: 1, Mode: ids.Record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trunc.wal")
+	if err := vm.EnableWAL(path, tracelog.WALOptions{SyncEvery: 1}); err != nil {
+		t.Fatal(err)
+	}
+	vm.Start(func(main *core.Thread) {
+		var x core.SharedInt
+		for r := 0; r < 4; r++ {
+			for i := 0; i < 5; i++ {
+				x.Set(main, x.Get(main)+1)
+			}
+			checkpoint.Take(main, func() []byte { return []byte("state") })
+		}
+	})
+	vm.Wait()
+	st, err := vm.TruncateWAL(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BaseGC == 0 {
+		t.Fatal("truncation kept the whole log")
+	}
+	set, rep, err := tracelog.RecoverFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BaseGC != st.BaseGC {
+		t.Fatalf("recovery reports base %d, truncation stamped %d", rep.BaseGC, st.BaseGC)
+	}
+	if chk := CheckSet(set); !chk.OK() {
+		t.Errorf("real truncated WAL flagged: %v", chk.Findings)
 	}
 }

@@ -42,6 +42,19 @@ type Metrics struct {
 	connectRetries  atomic.Uint64
 	peerUnreachable atomic.Uint64
 	logEndStops     atomic.Uint64
+	// rudp delivery-layer counters: segment retransmissions and senders whose
+	// exponential backoff hit its cap (still retrying, but at max interval).
+	rudpRetransmits   atomic.Uint64
+	rudpBackoffCapped atomic.Uint64
+	// walTruncates counts checkpoint-anchored WAL compactions performed.
+	walTruncates atomic.Uint64
+
+	// Supervisor counters: fail-stop recoveries completed, VM restarts
+	// launched, and recoveries that fell back to replay-from-zero because no
+	// checkpoint was salvageable.
+	recoveries atomic.Uint64
+	restarts   atomic.Uint64
+	fallbacks  atomic.Uint64
 
 	// Causal-tracing counters: sampled wall-clock timestamp records and
 	// net-span correlation records emitted into the logs (record mode with
@@ -69,6 +82,9 @@ type Metrics struct {
 	// GCHold observes how long the GC-critical section is held per critical
 	// event (op + observer), record and replay alike.
 	GCHold Histogram
+	// MTTR observes supervisor mean-time-to-recover: crash detection to the
+	// recovered VM rejoining (every recovery is observed — no sampling).
+	MTTR Histogram
 }
 
 const (
@@ -156,6 +172,29 @@ func (m *Metrics) IncPeerUnreachable() { m.peerUnreachable.Add(1) }
 // IncLogEndStop counts one replay thread stopping at the end of a truncated
 // recovered schedule.
 func (m *Metrics) IncLogEndStop() { m.logEndStops.Add(1) }
+
+// IncRudpRetransmit counts one rudp segment retransmission.
+func (m *Metrics) IncRudpRetransmit() { m.rudpRetransmits.Add(1) }
+
+// IncRudpBackoffCap counts one rudp sender whose retry backoff reached its
+// maximum interval.
+func (m *Metrics) IncRudpBackoffCap() { m.rudpBackoffCapped.Add(1) }
+
+// IncWALTruncate counts one checkpoint-anchored WAL compaction.
+func (m *Metrics) IncWALTruncate() { m.walTruncates.Add(1) }
+
+// IncRecovery counts one completed supervisor recovery.
+func (m *Metrics) IncRecovery() { m.recoveries.Add(1) }
+
+// IncRestart counts one supervisor-launched VM restart.
+func (m *Metrics) IncRestart() { m.restarts.Add(1) }
+
+// IncFallback counts one recovery that replayed from zero because no
+// checkpoint was salvageable from the repaired WAL.
+func (m *Metrics) IncFallback() { m.fallbacks.Add(1) }
+
+// ObserveMTTR records one crash-to-rejoin recovery latency.
+func (m *Metrics) ObserveMTTR(d time.Duration) { m.MTTR.Observe(d) }
 
 // IncTimestamp counts one sampled wall-clock timestamp record.
 func (m *Metrics) IncTimestamp() { m.timestamps.Add(1) }

@@ -38,8 +38,21 @@ func WriteReport(w io.Writer, s Snapshot) {
 		fmt.Fprintf(w, "shard    fast %d  contended %d  obj-runs %d\n",
 			s.Shard.FastPath, s.Shard.Contended, s.Shard.ObjRuns)
 	}
+	f := s.Faults
+	if f.WALSyncs > 0 || f.ConnectRetries > 0 || f.PeerUnreachable > 0 ||
+		f.LogEndStops > 0 || f.RudpRetransmits > 0 || f.RudpBackoffCapped > 0 ||
+		f.WALTruncates > 0 {
+		fmt.Fprintf(w, "faults   wal-syncs %d  wal-truncates %d  conn-retries %d  rudp-rexmit %d  backoff-capped %d  unreachable %d  log-end-stops %d\n",
+			f.WALSyncs, f.WALTruncates, f.ConnectRetries, f.RudpRetransmits,
+			f.RudpBackoffCapped, f.PeerUnreachable, f.LogEndStops)
+	}
+	if s.Recovery.Recoveries > 0 || s.Recovery.Restarts > 0 || s.Recovery.Fallbacks > 0 {
+		fmt.Fprintf(w, "recover  recoveries %d  restarts %d  fallbacks %d\n",
+			s.Recovery.Recoveries, s.Recovery.Restarts, s.Recovery.Fallbacks)
+	}
 	writeHistLine(w, "turnwait", s.TurnWait)
 	writeHistLine(w, "gc-hold ", s.GCHold)
+	writeHistLine(w, "mttr    ", s.MTTR)
 }
 
 func writeHistLine(w io.Writer, name string, h HistogramSnapshot) {

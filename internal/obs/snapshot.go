@@ -93,6 +93,24 @@ type FaultCounts struct {
 	// LogEndStops is replay threads that stopped at the end of a truncated
 	// crash-recovered schedule (the replayed crash point).
 	LogEndStops uint64 `json:"log_end_stops"`
+	// RudpRetransmits is rudp segment retransmissions performed.
+	RudpRetransmits uint64 `json:"rudp_retransmits"`
+	// RudpBackoffCapped is rudp senders whose retry backoff hit its maximum
+	// interval (a persistent-loss signal one step before PeerUnreachable).
+	RudpBackoffCapped uint64 `json:"rudp_backoff_capped"`
+	// WALTruncates is checkpoint-anchored WAL compactions performed.
+	WALTruncates uint64 `json:"wal_truncates"`
+}
+
+// RecoveryCounts groups the supervisor's recovery outcomes.
+type RecoveryCounts struct {
+	// Recoveries is completed fail-stop recoveries.
+	Recoveries uint64 `json:"recoveries"`
+	// Restarts is supervisor-launched VM restarts.
+	Restarts uint64 `json:"restarts"`
+	// Fallbacks is recoveries that replayed from zero because the repaired
+	// WAL held no usable checkpoint.
+	Fallbacks uint64 `json:"fallbacks"`
 }
 
 // CausalCounts groups the causal-tracing counters: the optional correlation
@@ -142,6 +160,8 @@ type Snapshot struct {
 	Replay ReplayProgress `json:"replay"`
 	// Faults is the fault-tolerance counter set (WAL, retries, recovery).
 	Faults FaultCounts `json:"faults"`
+	// Recovery is the supervisor's recovery-outcome counter set.
+	Recovery RecoveryCounts `json:"recovery"`
 	// Causal is the causal-tracing counter set (timestamp + net-span
 	// records emitted).
 	Causal CausalCounts `json:"causal"`
@@ -157,6 +177,9 @@ type Snapshot struct {
 	TurnWait HistogramSnapshot `json:"turn_wait"`
 	// GCHold is the GC-critical-section hold-time distribution.
 	GCHold HistogramSnapshot `json:"gc_hold"`
+	// MTTR is the supervisor's crash-to-rejoin latency distribution
+	// (unsampled, unlike TurnWait/GCHold).
+	MTTR HistogramSnapshot `json:"mttr"`
 }
 
 // Snapshot assembles the current view. It is safe to call concurrently with
@@ -194,10 +217,18 @@ func (m *Metrics) Snapshot() Snapshot {
 		Stalled:       wd&watchdogStalledBit != 0,
 	}
 	s.Faults = FaultCounts{
-		WALSyncs:        m.walSyncs.Load(),
-		ConnectRetries:  m.connectRetries.Load(),
-		PeerUnreachable: m.peerUnreachable.Load(),
-		LogEndStops:     m.logEndStops.Load(),
+		WALSyncs:          m.walSyncs.Load(),
+		ConnectRetries:    m.connectRetries.Load(),
+		PeerUnreachable:   m.peerUnreachable.Load(),
+		LogEndStops:       m.logEndStops.Load(),
+		RudpRetransmits:   m.rudpRetransmits.Load(),
+		RudpBackoffCapped: m.rudpBackoffCapped.Load(),
+		WALTruncates:      m.walTruncates.Load(),
+	}
+	s.Recovery = RecoveryCounts{
+		Recoveries: m.recoveries.Load(),
+		Restarts:   m.restarts.Load(),
+		Fallbacks:  m.fallbacks.Load(),
 	}
 	s.Causal = CausalCounts{
 		Timestamps: m.timestamps.Load(),
@@ -211,5 +242,6 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.HistSampleRate = m.histSampleRate.Load()
 	s.TurnWait = m.TurnWait.Snapshot()
 	s.GCHold = m.GCHold.Snapshot()
+	s.MTTR = m.MTTR.Snapshot()
 	return s
 }

@@ -74,6 +74,14 @@ type Config struct {
 	// OnUnreachable, when set, is called once for each datagram abandoned
 	// after MaxRetries, outside the connection's lock.
 	OnUnreachable func(dest netsim.Addr)
+	// OnRetransmit, when set, is called once per retransmission, outside the
+	// connection's lock.
+	OnRetransmit func()
+	// OnBackoffCap, when set, is called once for each datagram whose backed-off
+	// retransmit interval first reaches MaxRetransmitInterval — a persistent-
+	// loss signal one step before the destination is declared unreachable.
+	// Called outside the connection's lock.
+	OnBackoffCap func()
 }
 
 // DefaultMaxRetries is the retry budget used when Config.MaxRetries is zero.
@@ -88,6 +96,7 @@ type outstanding struct {
 	tries    int
 	interval time.Duration
 	nextTry  time.Time
+	capped   bool // backoff reached MaxRetransmitInterval (reported once)
 }
 
 type dedupKey struct {
@@ -349,6 +358,7 @@ func (c *Conn) retransmitLoop() {
 		}
 		now := time.Now()
 		c.mu.Lock()
+		var capped int
 		var resend, dead []*outstanding
 		for seq, o := range c.unacked {
 			if now.Before(o.nextTry) {
@@ -367,8 +377,14 @@ func (c *Conn) retransmitLoop() {
 			// Exponential backoff with jitter: a dead peer costs O(log) traffic
 			// in the budget window, and concurrent senders decorrelate.
 			o.interval = time.Duration(float64(o.interval) * c.cfg.BackoffFactor)
-			if o.interval > c.cfg.MaxRetransmitInterval {
-				o.interval = c.cfg.MaxRetransmitInterval
+			if o.interval >= c.cfg.MaxRetransmitInterval {
+				if o.interval > c.cfg.MaxRetransmitInterval {
+					o.interval = c.cfg.MaxRetransmitInterval
+				}
+				if !o.capped {
+					o.capped = true
+					capped++
+				}
 			}
 			jitter := time.Duration(c.rng.Int63n(int64(o.interval)/4 + 1))
 			o.nextTry = now.Add(o.interval + jitter)
@@ -381,6 +397,16 @@ func (c *Conn) retransmitLoop() {
 		c.mu.Unlock()
 		for _, o := range resend {
 			_ = c.sock.SendTo(o.dest, o.frame)
+		}
+		if c.cfg.OnRetransmit != nil {
+			for range resend {
+				c.cfg.OnRetransmit()
+			}
+		}
+		if c.cfg.OnBackoffCap != nil {
+			for ; capped > 0; capped-- {
+				c.cfg.OnBackoffCap()
+			}
 		}
 		if c.cfg.OnUnreachable != nil {
 			for _, o := range dead {

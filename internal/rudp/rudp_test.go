@@ -315,3 +315,43 @@ func TestStatsAccounting(t *testing.T) {
 		t.Errorf("AcksSent = %d, want >= %d", rxSt.AcksSent, n)
 	}
 }
+
+// The retransmit/backoff-cap hooks feed the obs fault counters: every resend
+// fires OnRetransmit, and OnBackoffCap fires exactly once per outstanding
+// datagram when its interval first hits the ceiling.
+func TestRetransmitAndBackoffCapHooks(t *testing.T) {
+	net := netsim.NewNetwork(netsim.Config{})
+	if _, err := net.DatagramBind("rx", 100); err != nil {
+		t.Fatal(err)
+	}
+	txSock, err := net.DatagramBind("tx", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var retransmits, capped int
+	tx := New(txSock, Config{
+		RetransmitInterval:    100 * time.Microsecond,
+		MaxRetransmitInterval: 200 * time.Microsecond,
+		MaxRetries:            6,
+		OnRetransmit:          func() { mu.Lock(); retransmits++; mu.Unlock() },
+		OnBackoffCap:          func() { mu.Lock(); capped++; mu.Unlock() },
+	})
+	defer tx.Close()
+
+	net.CrashHost("rx")
+	if err := tx.SendTo(net, netsim.Addr{Host: "rx", Port: 100}, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Flush(); !errors.Is(err, ErrPeerUnreachable) {
+		t.Fatalf("Flush = %v, want ErrPeerUnreachable", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if retransmits != 6 {
+		t.Errorf("OnRetransmit calls = %d, want 6 (MaxRetries)", retransmits)
+	}
+	if capped != 1 {
+		t.Errorf("OnBackoffCap calls = %d, want exactly 1", capped)
+	}
+}

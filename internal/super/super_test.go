@@ -1,0 +1,220 @@
+package super
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/obs"
+	"repro/internal/tracelog"
+)
+
+// startFrozenVM starts a recording VM that fail-stops in place at counter
+// freezeAt: the event observer blocks forever inside the GC-critical section,
+// freezing every thread and the progress counters with it. The VM's worker
+// goroutine deliberately leaks — exactly what a crashed process leaves behind.
+func startFrozenVM(t *testing.T, walPath string, freezeAt ids.GCount, withCkpt bool) *core.VM {
+	t.Helper()
+	vm, err := core.NewVM(core.Config{
+		ID:   1,
+		Mode: ids.Record,
+		EventObserver: func(_ ids.ThreadNum, gc ids.GCount) {
+			if gc >= freezeAt {
+				select {}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.EnableWAL(walPath, tracelog.WALOptions{SyncEvery: 1}); err != nil {
+		t.Fatal(err)
+	}
+	vm.Start(func(main *core.Thread) {
+		var x core.SharedInt
+		for i := 0; ; i++ {
+			x.Set(main, x.Get(main)+1)
+			if withCkpt && i%10 == 9 {
+				checkpoint.Take(main, func() []byte { return []byte("state") })
+			}
+		}
+	})
+	return vm
+}
+
+func testConfig(walPath string, m *obs.Metrics) Config {
+	return Config{
+		WALPath:   walPath,
+		Heartbeat: time.Millisecond,
+		FailAfter: 40 * time.Millisecond,
+		Metrics:   m,
+	}
+}
+
+func TestCleanStopReportsNothing(t *testing.T) {
+	vm, err := core.NewVM(core.Config{ID: 1, Mode: ids.Record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "clean.wal")
+	if err := vm.EnableWAL(path, tracelog.WALOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	vm.Start(func(main *core.Thread) {
+		var x core.SharedInt
+		for i := 0; i < 20; i++ {
+			x.Set(main, x.Get(main)+1)
+		}
+	})
+	m := &obs.Metrics{}
+	sup := Watch(vm, testConfig(path, m))
+	vm.Wait()
+	sup.Stop()
+	sup.Stop() // idempotent
+	out, err := sup.Wait()
+	if out != nil || err != nil {
+		t.Fatalf("clean stop: outcome=%+v err=%v, want nil/nil", out, err)
+	}
+	if s := m.Snapshot(); s.Recovery.Recoveries != 0 {
+		t.Fatalf("clean stop counted a recovery: %+v", s.Recovery)
+	}
+}
+
+func TestDetectsFreezeAndAnchorsOnCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.wal")
+	vm := startFrozenVM(t, path, 60, true)
+	m := &obs.Metrics{}
+	var restarted *Recovery
+	cfg := testConfig(path, m)
+	cfg.Restart = func(r *Recovery) error {
+		restarted = r
+		return nil
+	}
+	sup := Watch(vm, cfg)
+	out, err := sup.Wait()
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if !out.Detected {
+		t.Fatal("freeze not detected")
+	}
+	if out.DetectLatency < cfg.FailAfter {
+		t.Fatalf("DetectLatency %v below FailAfter %v", out.DetectLatency, cfg.FailAfter)
+	}
+	if out.FallbackZero {
+		t.Fatal("fell back to zero despite recorded checkpoints")
+	}
+	if out.Recovery == nil || out.Recovery.Checkpoint == nil {
+		t.Fatal("no checkpoint anchor prepared")
+	}
+	if restarted == nil || restarted != out.Recovery {
+		t.Fatal("restart callback did not receive the prepared recovery")
+	}
+	if out.LastTotal == 0 {
+		t.Fatal("LastTotal empty — detection saw no progress at all")
+	}
+	s := m.Snapshot()
+	if s.Recovery.Recoveries != 1 || s.Recovery.Restarts != 1 || s.Recovery.Fallbacks != 0 {
+		t.Fatalf("counters: %+v", s.Recovery)
+	}
+	if s.MTTR.Count != 1 {
+		t.Fatalf("MTTR observations = %d, want 1", s.MTTR.Count)
+	}
+
+	// The salvaged set replays to the crash point.
+	rep, err := core.NewVM(core.Config{
+		ID: 1, Mode: ids.Replay,
+		ReplayLogs:   out.Recovery.Logs,
+		Resume:       &out.Recovery.Checkpoint.Resume,
+		StopAtLogEnd: true,
+		StallTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("replay from salvage: %v", err)
+	}
+	rep.Start(func(main *core.Thread) {
+		var x core.SharedInt
+		for i := 0; ; i++ {
+			x.Set(main, x.Get(main)+1)
+			if i%10 == 9 {
+				checkpoint.Take(main, func() []byte { return []byte("state") })
+			}
+		}
+	})
+	rep.Wait()
+}
+
+func TestFallsBackToZeroWithoutCheckpoints(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.wal")
+	vm := startFrozenVM(t, path, 30, false)
+	m := &obs.Metrics{}
+	sup := Watch(vm, testConfig(path, m))
+	out, err := sup.Wait()
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if !out.Detected || !out.FallbackZero {
+		t.Fatalf("outcome %+v, want detected fallback-to-zero", out)
+	}
+	if out.Recovery.Checkpoint != nil {
+		t.Fatal("fallback outcome carries a checkpoint")
+	}
+	if s := m.Snapshot(); s.Recovery.Fallbacks != 1 {
+		t.Fatalf("fallback not counted: %+v", s.Recovery)
+	}
+}
+
+// A truncated WAL whose anchor checkpoint did not survive (here: a compacted
+// image hand-built without one) has no resume point at all — the supervisor
+// must refuse rather than prepare an unreplayable restart.
+func TestTruncatedLogWithoutAnchorIsUnrecoverable(t *testing.T) {
+	dir := t.TempDir()
+	orphan := filepath.Join(dir, "orphan.wal")
+	w, err := tracelog.CreateWAL(orphan, tracelog.WALOptions{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tracelog.NewSet()
+	if err := s.AttachWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	s.Schedule.Append(&tracelog.VMMeta{VM: 1, World: ids.OpenWorld})
+	s.Schedule.Append(&tracelog.TruncationEntry{BaseGC: 5})
+	s.Schedule.Append(&tracelog.Interval{Thread: 0, First: 5, Last: 9})
+	if err := s.SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	vm := startFrozenVM(t, filepath.Join(dir, "live.wal"), 30, false)
+	cfg := testConfig(orphan, &obs.Metrics{})
+	sup := Watch(vm, cfg)
+	out, err := sup.Wait()
+	if err == nil || !strings.Contains(err.Error(), "unrecoverable") {
+		t.Fatalf("Wait err = %v, want unrecoverable-truncation error", err)
+	}
+	if out == nil || !out.Detected {
+		t.Fatal("outcome should still report detection")
+	}
+}
+
+func TestRestartErrorSurfaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.wal")
+	vm := startFrozenVM(t, path, 30, true)
+	cfg := testConfig(path, &obs.Metrics{})
+	cfg.Restart = func(*Recovery) error { return errRestart }
+	sup := Watch(vm, cfg)
+	_, err := sup.Wait()
+	if err == nil || !strings.Contains(err.Error(), "restart") {
+		t.Fatalf("Wait err = %v, want restart failure", err)
+	}
+}
+
+var errRestart = &restartErr{}
+
+type restartErr struct{}
+
+func (*restartErr) Error() string { return "injected restart failure" }

@@ -130,6 +130,19 @@ const (
 	// analogue of KindTimedWait).
 	KindObjTimedWait
 
+	// KindTruncation marks a checkpoint-anchored WAL truncation: every
+	// schedule/network/datagram record below BaseGC was compacted away because
+	// a durable checkpoint at BaseGC (retained in the stream) supersedes it.
+	// Replay of a truncated set requires a Resume point at or after the base.
+	KindTruncation
+
+	// KindChaosPlan records the seeded fault schedule a chaos run executed
+	// under (internal/chaos), so the run's trace carries its own fault plan
+	// and a recovered log reproduces the identical schedule from the seed.
+	// Replay ignores it: open-world replay reproduces fault effects from the
+	// recorded error/content records, never by re-injecting faults.
+	KindChaosPlan
+
 	// New kinds must be appended here, never inserted above: kind values are
 	// part of the on-disk log format.
 	kindMax
@@ -161,6 +174,8 @@ var kindNames = [...]string{
 	KindObjRun:       "obj-run",
 	KindObjNotify:    "obj-notify",
 	KindObjTimedWait: "obj-timed-wait",
+	KindTruncation:   "truncation",
+	KindChaosPlan:    "chaos-plan",
 }
 
 func (k Kind) String() string {
@@ -692,6 +707,10 @@ func newEntry(k Kind) (Entry, error) {
 		return &ObjNotify{}, nil
 	case KindObjTimedWait:
 		return &ObjTimedWait{}, nil
+	case KindTruncation:
+		return &TruncationEntry{}, nil
+	case KindChaosPlan:
+		return &ChaosPlanEntry{}, nil
 	default:
 		return nil, corruptf("unknown record kind %d", k)
 	}
@@ -885,4 +904,44 @@ func (w *ObjTimedWait) decode(d *dec) {
 	w.Seq = ids.AccessSeq(d.u64())
 	w.Check = d.bool()
 	w.TimedOut = d.bool()
+}
+
+// TruncationEntry marks a checkpoint-anchored WAL truncation: the stream it
+// opens covers only counters at or after BaseGC, because a durable checkpoint
+// taken at exactly BaseGC (kept in the stream) captures everything earlier.
+// Schedule intervals straddling the base are clipped at truncation time, so
+// interval coverage of a truncated stream partitions [BaseGC, FinalGC)
+// exactly. Replay of a truncated set requires a Resume point whose counter is
+// past the base; there is no longer a recorded prefix to replay from zero.
+type TruncationEntry struct {
+	BaseGC ids.GCount
+}
+
+func (tr *TruncationEntry) Kind() Kind { return KindTruncation }
+
+func (tr *TruncationEntry) encode(e *enc) { e.u64(uint64(tr.BaseGC)) }
+
+func (tr *TruncationEntry) decode(d *dec) { tr.BaseGC = ids.GCount(d.u64()) }
+
+// ChaosPlanEntry embeds a chaos run's seeded fault schedule in its own trace:
+// Seed is the generator seed and Spec is the chaos package's deterministic
+// binary encoding of the full action list. The record is pure metadata —
+// replay never consults it (recorded error and content records already
+// reproduce every fault effect) — but it makes a chaos run self-describing:
+// the schedule that disturbed a recovered log travels with the log.
+type ChaosPlanEntry struct {
+	Seed uint64
+	Spec []byte
+}
+
+func (c *ChaosPlanEntry) Kind() Kind { return KindChaosPlan }
+
+func (c *ChaosPlanEntry) encode(e *enc) {
+	e.u64(c.Seed)
+	e.bytes(c.Spec)
+}
+
+func (c *ChaosPlanEntry) decode(d *dec) {
+	c.Seed = d.u64()
+	c.Spec = d.bytes()
 }

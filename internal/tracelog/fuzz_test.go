@@ -36,6 +36,20 @@ func FuzzParse(f *testing.F) {
 	sharded := sl.Bytes()
 	f.Add(sharded)
 	f.Add(sharded[:len(sharded)/2])
+
+	// A checkpoint-truncated schedule: base marker, embedded chaos plan,
+	// anchor checkpoint, intervals starting at the base. The compacted WAL
+	// layout reaches the decoder through crash recovery, so it must survive
+	// arbitrary mangling like any other input.
+	trl := NewLog()
+	trl.Append(&VMMeta{VM: 5, World: ids.OpenWorld, Threads: 3, FinalGC: 200})
+	trl.Append(&TruncationEntry{BaseGC: 120})
+	trl.Append(&ChaosPlanEntry{Seed: 7, Spec: []byte{1, 2, 3, 4}})
+	trl.Append(&CheckpointEntry{GC: 120, NextThread: 3, TakerThread: 0, MainEventNum: 40, State: []byte("state")})
+	trl.Append(&Interval{Thread: 0, First: 121, Last: 199})
+	truncated := trl.Bytes()
+	f.Add(truncated)
+	f.Add(truncated[:len(truncated)-3])
 	f.Add(healthy[:len(healthy)/2])
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff})

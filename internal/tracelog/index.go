@@ -20,6 +20,14 @@ type ScheduleIndex struct {
 	// (hence GC) order. Replay never consults them; the causal analyzer does.
 	Timestamps []TimestampEntry
 
+	// BaseGC is the checkpoint-anchored truncation base: 0 for an untruncated
+	// log, otherwise the counter the compacted stream starts at. A truncated
+	// set can only be replayed from a Resume point past the base.
+	BaseGC ids.GCount
+	// ChaosPlan is the embedded fault schedule of a chaos run, nil when the
+	// recording ran without one.
+	ChaosPlan *ChaosPlanEntry
+
 	// OrderMode is the order mode the log was recorded under. Logs without an
 	// order-mode record (every global-mode and pre-sharding log) index as
 	// OrderGlobal.
@@ -186,6 +194,22 @@ func BuildScheduleIndex(l *Log) (*ScheduleIndex, error) {
 				return nil, err
 			}
 			idx.ObjTimedWaits[ObjEvent{v.Obj, v.Seq}] = v
+		case KindTruncation:
+			var v TruncationEntry
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
+			if v.BaseGC > idx.BaseGC {
+				idx.BaseGC = v.BaseGC
+			}
+		case KindChaosPlan:
+			var v ChaosPlanEntry
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
+			idx.ChaosPlan = &v
 		default:
 			return nil, unexpectedRecord(k, "schedule")
 		}

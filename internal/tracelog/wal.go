@@ -258,7 +258,8 @@ type RecoveryReport struct {
 	Synthesized      bool
 	VM               ids.DJVMID
 	World            ids.World
-	FinalGC          ids.GCount // replayable prefix: events [0, FinalGC)
+	BaseGC           ids.GCount // truncation base: replay starts at or after it
+	FinalGC          ids.GCount // replayable prefix: events [BaseGC, FinalGC)
 	DroppedIntervals int        // schedule intervals beyond the prefix
 	DroppedSchedule  int        // notify/timed-wait/checkpoint records dropped
 	DroppedDatagrams int        // datagram deliveries beyond the prefix
@@ -384,6 +385,17 @@ func repairSet(s *Set, rep *RecoveryReport) error {
 		return fmt.Errorf("tracelog: recover %s: schedule: %w", rep.Path, err)
 	}
 
+	// A checkpoint-anchored truncation rewrites the durable stream to start at
+	// a checkpoint's counter; the replayable range then begins at that base,
+	// not zero, and the coverage sweep below must start there too.
+	base := ids.GCount(0)
+	for _, e := range sched {
+		if tr, ok := e.(*TruncationEntry); ok && tr.BaseGC > base {
+			base = tr.BaseGC
+		}
+	}
+	rep.BaseGC = base
+
 	// A graceful Close appends the final vm-meta as the very last schedule
 	// record, with the thread count filled in; the durable identity header
 	// written at EnableWAL time carries Threads == 0. Distinguish the two so
@@ -443,6 +455,16 @@ func repairSet(s *Set, rep *RecoveryReport) error {
 		if iv.Thread > maxThread {
 			maxThread = iv.Thread
 		}
+		// A truncated stream's intervals are clipped to start at the base, but
+		// tolerate stragglers below it (e.g. a note written concurrently with
+		// an earlier truncation): coverage below the base is already captured
+		// by the anchor checkpoint.
+		if iv.Last < base {
+			continue
+		}
+		if iv.First < base {
+			iv.First = base
+		}
 		key := ivKey{iv.Thread, iv.First}
 		if cur, ok := merged[key]; !ok || iv.Last > cur.Last {
 			merged[key] = iv
@@ -453,7 +475,7 @@ func repairSet(s *Set, rep *RecoveryReport) error {
 		ivs = append(ivs, iv)
 	}
 	sortIntervals(ivs)
-	k := ids.GCount(0)
+	k := base
 	for _, iv := range ivs {
 		if iv.First > k {
 			break
