@@ -13,9 +13,17 @@
 // Usage:
 //
 //	djchaos -seed 1 -campaign 100 [-json] [-dir DIR] [-horizon N] [-keep N]
+//	djchaos -group [-members N] [-kills N] -seed 1 -campaign 100 [...]
 //
 // The campaign runs seeds seed..seed+campaign-1. Exit status 0 means every
 // run satisfied every invariant.
+//
+// -group switches to the multi-VM campaign: each seed expands into a group
+// fault schedule fail-stopping a subset of N coordinated members, the group
+// supervisor restarts the crashed members from the solved recovery line while
+// survivors keep running, and the run asserts per-member and cluster-digest
+// convergence plus line-anchored restarts (every victim resumed from its
+// anchor on a complete group epoch, not a fallback checkpoint).
 package main
 
 import (
@@ -51,13 +59,36 @@ func (r runReport) ok() bool {
 	return r.Err == "" && r.Converged && r.WALBounded && r.PlanStable
 }
 
+type groupRunReport struct {
+	Seed       uint64   `json:"seed"`
+	Members    int      `json:"members"`
+	Kills      int      `json:"kills"`
+	KillAts    []uint64 `json:"kill_ats"`
+	Epochs     uint64   `json:"epochs"`
+	LineEpoch  uint64   `json:"line_epoch"`
+	OnLine     bool     `json:"on_line"`
+	Converged  bool     `json:"converged"`
+	Recovered  string   `json:"recovered_cluster_digest"`
+	Baseline   string   `json:"baseline_cluster_digest"`
+	PlanStable bool     `json:"plan_stable"`
+	Recoveries uint64   `json:"recoveries"`
+	MTTRms     float64  `json:"mttr_ms"`
+	Err        string   `json:"err,omitempty"`
+}
+
+func (r groupRunReport) ok() bool {
+	return r.Err == "" && r.Converged && r.OnLine && r.PlanStable &&
+		r.Recoveries == uint64(r.Kills)
+}
+
 type campaignReport struct {
-	Runs      []runReport `json:"runs"`
-	Total     int         `json:"total"`
-	Passed    int         `json:"passed"`
-	Failed    int         `json:"failed"`
-	OK        bool        `json:"ok"`
-	ElapsedMS int64       `json:"elapsed_ms"`
+	Runs      []runReport      `json:"runs,omitempty"`
+	GroupRuns []groupRunReport `json:"group_runs,omitempty"`
+	Total     int              `json:"total"`
+	Passed    int              `json:"passed"`
+	Failed    int              `json:"failed"`
+	OK        bool             `json:"ok"`
+	ElapsedMS int64            `json:"elapsed_ms"`
 }
 
 func main() {
@@ -67,6 +98,9 @@ func main() {
 	dir := flag.String("dir", "", "working directory (default: a fresh temp dir)")
 	horizon := flag.Uint64("horizon", 0, "fault horizon in counter units (0 = default)")
 	keep := flag.Int("keep", 0, "checkpoint retention for WAL truncation (0 = default)")
+	group := flag.Bool("group", false, "run the multi-VM group-recovery campaign")
+	groupMembers := flag.Int("members", 3, "group size for -group runs")
+	groupKills := flag.Int("kills", 0, "members to fail-stop per -group run (0 = seeded choice)")
 	flag.Parse()
 
 	base := *dir
@@ -84,7 +118,26 @@ func main() {
 	rep := campaignReport{Total: *campaign}
 	for i := 0; i < *campaign; i++ {
 		s := *seed + uint64(i)
-		r := runOne(s, filepath.Join(base, fmt.Sprintf("seed-%d", s)), ids.GCount(*horizon), *keep)
+		runDir := filepath.Join(base, fmt.Sprintf("seed-%d", s))
+		if *group {
+			r := runGroupOne(s, runDir, ids.GCount(*horizon), *keep, *groupMembers, *groupKills)
+			rep.GroupRuns = append(rep.GroupRuns, r)
+			if r.ok() {
+				rep.Passed++
+			} else {
+				rep.Failed++
+			}
+			if !*jsonOut {
+				status := "ok"
+				if !r.ok() {
+					status = "FAIL"
+				}
+				fmt.Printf("seed %-6d %-4s members %d kills %d @%v epochs %-3d line %-3d online %-5v mttr %.1fms%s\n",
+					r.Seed, status, r.Members, r.Kills, r.KillAts, r.Epochs, r.LineEpoch, r.OnLine, r.MTTRms, errSuffix(r.Err))
+			}
+			continue
+		}
+		r := runOne(s, runDir, ids.GCount(*horizon), *keep)
 		rep.Runs = append(rep.Runs, r)
 		if r.ok() {
 			rep.Passed++
@@ -184,6 +237,79 @@ func runOne(seed uint64, dir string, horizon ids.GCount, keep int) runReport {
 			}
 		}
 		r.WALBounded = r.WALMax <= 3*r.WALMin
+	}
+	if r.ok() {
+		os.RemoveAll(dir)
+	}
+	return r
+}
+
+func runGroupOne(seed uint64, dir string, horizon ids.GCount, keep, members, kills int) groupRunReport {
+	r := groupRunReport{Seed: seed, Members: members}
+	if members <= 0 {
+		members = 3
+		r.Members = 3
+	}
+	names := make([]string, members)
+	for i := range names {
+		names[i] = fmt.Sprintf("m%d", i+1)
+	}
+	opts := chaos.GroupOptions{
+		Members: names, Hosts: []string{"p1", "p2"}, Horizon: horizon, Kills: kills,
+	}
+	if opts.Horizon <= 0 {
+		opts.Horizon = 2000
+	}
+	// Seed determinism: two independent expansions must agree byte-for-byte.
+	p1, err := chaos.GenerateGroup(seed, opts)
+	if err != nil {
+		r.Err = err.Error()
+		return r
+	}
+	p2, err := chaos.GenerateGroup(seed, opts)
+	if err != nil {
+		r.Err = err.Error()
+		return r
+	}
+	r.PlanStable = string(p1.Encode()) == string(p2.Encode())
+	r.Kills = len(p1.Kills)
+	for _, k := range p1.Kills {
+		r.KillAts = append(r.KillAts, uint64(k.At))
+	}
+
+	res, err := kvapp.RunGroupSupervised(kvapp.GroupConfig{
+		Dir: dir, Seed: seed, Members: members, Horizon: horizon, Keep: keep, Plan: &p1,
+	})
+	if err != nil {
+		r.Err = err.Error()
+		return r
+	}
+	r.Epochs = res.Epochs
+	if res.Line != nil {
+		r.LineEpoch = res.Line.Epoch
+	}
+	r.OnLine = res.OnLine
+	r.Converged = res.Converged
+	r.Recovered = fmt.Sprintf("%016x", res.ClusterDigest)
+	r.Baseline = fmt.Sprintf("%016x", res.BaselineClusterDigest)
+	r.Recoveries = res.Metrics.Recovery.Recoveries
+	if res.Metrics.MTTR.Count > 0 {
+		r.MTTRms = float64(res.Metrics.MTTR.Mean()) / float64(time.Millisecond)
+	}
+	// The executed plan must be the seed's plan, and the copy salvaged from
+	// every crashed member's trace must round-trip identically.
+	if string(res.Plan.Encode()) != string(p1.Encode()) {
+		r.PlanStable = false
+	}
+	if res.Outcome != nil {
+		for _, ep := range res.Outcome.Episodes {
+			for _, rec := range ep.Recoveries {
+				got, ok, err := chaos.GroupPlanFromSet(rec.Logs)
+				if err != nil || !ok || string(got.Encode()) != string(p1.Encode()) {
+					r.PlanStable = false
+				}
+			}
+		}
 	}
 	if r.ok() {
 		os.RemoveAll(dir)

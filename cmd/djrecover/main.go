@@ -5,6 +5,16 @@
 //	djrecover -json <file.wal>      # machine-readable report
 //	djrecover -o <dir> <file.wal>   # also save the recovered log set to dir
 //	djrecover -mkfixture <file.wal> # write a deliberately torn fixture (CI)
+//	djrecover -set <dir>            # batch: salvage every member *.wal in dir
+//	                                # and solve the group recovery line
+//
+// -set treats the directory as one crashed group: every *.wal is salvaged and
+// validated independently (one summary row per member), then the salvaged
+// sets are fed to the recovery-line solver, which reports the latest complete
+// coordinated-checkpoint line — each member's restart anchor — and why newer
+// epochs were demoted (torn stamps, lost anchor checkpoints, orphan
+// messages). Exit status is non-zero if any member fails to salvage or
+// validate.
 //
 // The tool truncates nothing on disk: it reads the WAL, discards the torn or
 // corrupt tail in memory, repairs the salvaged records to the largest
@@ -18,9 +28,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"repro/internal/ids"
 	"repro/internal/logcheck"
+	"repro/internal/recline"
 	"repro/internal/tracelog"
 )
 
@@ -28,6 +42,7 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the recovery report as JSON")
 	outDir := flag.String("o", "", "save the recovered log set under this directory")
 	fixture := flag.String("mkfixture", "", "write a torn-tail WAL fixture to this path and exit")
+	setDir := flag.String("set", "", "batch mode: salvage every member *.wal under this directory and solve the group recovery line")
 	flag.Parse()
 
 	if *fixture != "" {
@@ -37,8 +52,11 @@ func main() {
 		fmt.Printf("wrote torn fixture %s\n", *fixture)
 		return
 	}
+	if *setDir != "" {
+		os.Exit(runSet(*setDir, *asJSON, *outDir))
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: djrecover [-json] [-o dir] <file.wal> | djrecover -mkfixture <file.wal>")
+		fmt.Fprintln(os.Stderr, "usage: djrecover [-json] [-o dir] <file.wal> | djrecover -set <dir> | djrecover -mkfixture <file.wal>")
 		os.Exit(2)
 	}
 
@@ -99,6 +117,158 @@ func printReport(rep *tracelog.RecoveryReport, check *logcheck.Report) {
 		for _, f := range check.Findings {
 			fmt.Println("  ", f)
 		}
+	}
+}
+
+// setMemberRow is one member's salvage summary in -set mode.
+type setMemberRow struct {
+	Path     string                   `json:"path"`
+	Report   *tracelog.RecoveryReport `json:"report,omitempty"`
+	Findings []string                 `json:"findings,omitempty"`
+	OK       bool                     `json:"ok"`
+	Error    string                   `json:"error,omitempty"`
+}
+
+// setLineRow summarizes the solved recovery line in -set mode.
+type setLineRow struct {
+	Epoch     uint64            `json:"epoch"`
+	Anchors   map[string]uint64 `json:"anchors"`
+	Fallbacks int               `json:"fallbacks"`
+	Stable    int               `json:"stable_messages"`
+	InFlight  int               `json:"in_flight_messages"`
+	Demoted   []string          `json:"demoted,omitempty"`
+}
+
+// setReport is the -set JSON output shape.
+type setReport struct {
+	Dir     string         `json:"dir"`
+	Members []setMemberRow `json:"members"`
+	Line    *setLineRow    `json:"line,omitempty"`
+	NoLine  string         `json:"no_line,omitempty"`
+	OK      bool           `json:"ok"`
+}
+
+// runSet salvages every member WAL under dir, validates each, solves the
+// group's recovery line across the salvaged sets, and returns the process
+// exit code.
+func runSet(dir string, asJSON bool, outDir string) int {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil {
+		fatal(err)
+	}
+	if len(paths) == 0 {
+		fmt.Fprintf(os.Stderr, "djrecover: no *.wal files under %s\n", dir)
+		return 2
+	}
+	sort.Strings(paths)
+
+	out := setReport{Dir: dir, OK: true}
+	var sets []*tracelog.Set
+	for _, p := range paths {
+		row := setMemberRow{Path: p}
+		set, rep, err := tracelog.RecoverFile(p)
+		row.Report = rep
+		if err != nil {
+			row.Error = err.Error()
+			out.OK = false
+		} else {
+			check := logcheck.CheckSet(set)
+			row.OK = check.OK()
+			for _, f := range check.Findings {
+				row.Findings = append(row.Findings, f.String())
+			}
+			if !row.OK {
+				out.OK = false
+			}
+			sets = append(sets, set)
+			if outDir != "" {
+				name := strings.TrimSuffix(filepath.Base(p), ".wal")
+				if err := set.Save(filepath.Join(outDir, name)); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		out.Members = append(out.Members, row)
+	}
+
+	if len(sets) > 0 {
+		sol, err := recline.Solve(sets)
+		switch {
+		case err != nil:
+			out.NoLine = err.Error()
+		case sol.Line == nil:
+			out.NoLine = "no complete group epoch survived (per-member restarts only)"
+			for _, c := range sol.Candidates {
+				out.NoLine += fmt.Sprintf("; epoch %d: %s", c.Epoch, c.Rejected)
+			}
+		default:
+			line := &setLineRow{
+				Epoch:     sol.Line.Epoch,
+				Anchors:   map[string]uint64{},
+				Fallbacks: sol.Fallbacks(),
+				Stable:    sol.Stable,
+				InFlight:  sol.InFlight,
+			}
+			for vm, gc := range sol.Line.Anchors {
+				line.Anchors[fmt.Sprintf("vm%d", vm)] = uint64(gc)
+			}
+			for _, c := range sol.Candidates {
+				if c.Rejected != "" {
+					line.Demoted = append(line.Demoted, fmt.Sprintf("epoch %d: %s", c.Epoch, c.Rejected))
+				}
+			}
+			out.Line = line
+		}
+	}
+
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		printSetReport(&out)
+	}
+	if !out.OK {
+		return 1
+	}
+	return 0
+}
+
+func printSetReport(out *setReport) {
+	fmt.Printf("== group salvage: %s (%d members) ==\n", out.Dir, len(out.Members))
+	for _, m := range out.Members {
+		switch {
+		case m.Error != "":
+			fmt.Printf("%-20s FAIL  %s\n", filepath.Base(m.Path), m.Error)
+		case !m.OK:
+			fmt.Printf("%-20s FAIL  %d logcheck finding(s)\n", filepath.Base(m.Path), len(m.Findings))
+			for _, f := range m.Findings {
+				fmt.Println("    ", f)
+			}
+		default:
+			shutdown := "clean"
+			if !m.Report.Clean {
+				shutdown = "crash"
+			}
+			fmt.Printf("%-20s ok    vm=%d %s, prefix [0,%d), %d frames\n",
+				filepath.Base(m.Path), m.Report.VM, shutdown, m.Report.FinalGC, m.Report.Frames)
+		}
+	}
+	switch {
+	case out.Line != nil:
+		fmt.Printf("recovery line: epoch %d, anchors %v", out.Line.Epoch, out.Line.Anchors)
+		if out.Line.Fallbacks > 0 {
+			fmt.Printf(" (fell back through %d newer epoch(s))", out.Line.Fallbacks)
+		}
+		fmt.Println()
+		fmt.Printf("messages:      %d stable, %d in-flight to re-deliver\n", out.Line.Stable, out.Line.InFlight)
+		for _, d := range out.Line.Demoted {
+			fmt.Println("  demoted:", d)
+		}
+	case out.NoLine != "":
+		fmt.Printf("recovery line: NONE — %s\n", out.NoLine)
 	}
 }
 

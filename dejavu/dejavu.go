@@ -54,6 +54,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/recline"
 	"repro/internal/rudp"
 	"repro/internal/super"
 	"repro/internal/tracelog"
@@ -184,6 +185,52 @@ type (
 	RecoveryCounts = obs.RecoveryCounts
 	// TruncateStats reports what one WAL truncation kept and dropped.
 	TruncateStats = tracelog.TruncateStats
+
+	// GroupChaosPlan is a seeded multi-VM fault schedule: per-member in-situ
+	// kill points plus shared partition windows and link-loss epochs, all
+	// keyed to the members' own counters. See GenerateGroupChaos.
+	GroupChaosPlan = chaos.GroupPlan
+	// GroupKill is one member's scheduled in-situ kill.
+	GroupKill = chaos.GroupKill
+	// GroupChaosOptions parameterizes group-plan generation (member names,
+	// peer hosts, horizon, kill count).
+	GroupChaosOptions = chaos.GroupOptions
+	// GroupChaosEngine fires a group plan across the members: install
+	// MemberObserver(i) as member i's Config.EventObserver.
+	GroupChaosEngine = chaos.GroupEngine
+
+	// GroupCoordinator runs the counter-barrier coordinated checkpoint
+	// protocol: each member's GroupCheckpoint arrives at the barrier inside
+	// its own critical event, and the completed round stamps a group epoch
+	// into every member's log. See NewGroupCoordinator.
+	GroupCoordinator = recline.Coordinator
+	// RecoveryLine is one consistent cross-VM recovery line: a completed
+	// group epoch and each member's checkpoint anchor on it.
+	RecoveryLine = recline.Line
+	// LineSolution is a full recovery-line solve over a set of salvaged
+	// logs: the chosen line, every candidate epoch with its completeness
+	// verdict, and the cross-VM message classification. See
+	// SolveRecoveryLine.
+	LineSolution = recline.Solution
+	// LineCandidate is one candidate epoch of a solve, complete or demoted.
+	LineCandidate = recline.Candidate
+	// CrossMessage is one cross-VM message classified against a line
+	// (stable, in-flight, orphan, or post-line).
+	CrossMessage = recline.Message
+
+	// GroupSupervisor watches every member of a coordinated group for
+	// fail-stop, solves the recovery line, and restarts crashed members
+	// while survivors keep running. See SuperviseGroup.
+	GroupSupervisor = super.GroupSupervisor
+	// GroupSuperConfig tunes group fail-stop detection and recovery.
+	GroupSuperConfig = super.GroupConfig
+	// GroupOutcome aggregates a group supervision run.
+	GroupOutcome = super.GroupOutcome
+	// GroupEpisode is one group detection episode: the members declared
+	// failed together, the solved line, and their prepared restarts.
+	GroupEpisode = super.GroupEpisode
+	// MemberRecovery is one crashed member's prepared restart.
+	MemberRecovery = super.MemberRecovery
 
 	// CausalGraph is the reconstructed cross-VM happens-before graph of a
 	// recorded world. See Analyze.
@@ -553,6 +600,94 @@ func (n *Node) RecordChaosPlan(p ChaosPlan) error {
 // ok is false when the set carries no plan.
 func ChaosPlanFromLogs(logs *Logs) (ChaosPlan, bool, error) {
 	return chaos.PlanFromSet(logs)
+}
+
+// GenerateGroupChaos expands a seed into a validated multi-VM fault schedule:
+// in-situ kill points for a seeded subset of the members, plus shared
+// partition windows and link-loss epochs. The same seed and options always
+// yield byte-identical plans (GroupChaosPlan.Encode).
+func GenerateGroupChaos(seed uint64, opts GroupChaosOptions) (GroupChaosPlan, error) {
+	return chaos.GenerateGroup(seed, opts)
+}
+
+// NewGroupChaosEngine compiles a group plan against a network. Each member
+// installs engine.MemberObserver(i) as its Config.EventObserver; the plan's
+// network faults fire as the group's high-water counter advances, driven by
+// whichever member reaches each fire point first.
+func NewGroupChaosEngine(p GroupChaosPlan, net *Network) (*GroupChaosEngine, error) {
+	return chaos.NewGroupEngine(p, net)
+}
+
+// RecordGroupChaosPlan stamps the group plan into the node's record-phase
+// logs, so the fault schedule travels with the trace and
+// GroupChaosPlanFromLogs can round-trip it after recovery.
+func (n *Node) RecordGroupChaosPlan(p GroupChaosPlan) error {
+	logs := n.vm.Logs()
+	if logs == nil {
+		return fmt.Errorf("dejavu: node %d has no logs (mode %v)", n.ID(), n.Mode())
+	}
+	chaos.RecordGroup(logs, p)
+	return nil
+}
+
+// GroupChaosPlanFromLogs recovers the group fault schedule recorded into a
+// member's log set. ok is false when the set carries no group plan.
+func GroupChaosPlanFromLogs(logs *Logs) (GroupChaosPlan, bool, error) {
+	return chaos.GroupPlanFromSet(logs)
+}
+
+// NewGroupCoordinator creates the coordinated-checkpoint barrier for the
+// given member identities. Every member must call GroupCheckpoint at the same
+// logical points of its run; a member that exits early must be Removed so the
+// others' rounds still complete.
+func NewGroupCoordinator(members ...DJVMID) *GroupCoordinator {
+	return recline.NewCoordinator(members...)
+}
+
+// GroupCheckpoint records t's arrival at the group checkpoint barrier as ONE
+// critical event of its node: the checkpoint capture, the group-epoch stamp
+// naming every member's anchor counter, and the WAL sync all land inside the
+// same GC-critical section, so a crash either retains the member's whole
+// barrier arrival or none of it. Blocks until every live member of coord has
+// arrived (record mode; replay consumes the schedule slot without
+// coordinating).
+func GroupCheckpoint(coord *GroupCoordinator, t *Thread, save func() []byte) {
+	coord.Checkpoint(t, save)
+}
+
+// SolveRecoveryLine computes the latest consistent recovery line across one
+// salvaged log set per member: the newest group epoch whose every listed
+// member retains both its epoch stamp and its anchor checkpoint, and which no
+// orphan message (received at or before the line, sent after it) invalidates.
+// Incomplete epochs are demoted with reasons; cross-VM messages are
+// classified stable, in-flight, orphan, or post-line. Line is nil when no
+// complete epoch survived.
+func SolveRecoveryLine(sets ...*Logs) (*LineSolution, error) {
+	return recline.Solve(sets)
+}
+
+// GroupNode names one supervised member of a coordinated group.
+type GroupNode struct {
+	// Name is the member's display name (its simulated host, typically).
+	Name string
+	// Node is the member's recording node, polled for progress.
+	Node *Node
+	// WALPath is the member's write-ahead log, salvaged on detection.
+	WALPath string
+}
+
+// SuperviseGroup starts a fail-stop supervisor over a coordinated group: it
+// polls every member's progress counters, treats members parked in the
+// coordinator's barrier as alive, declares the frozen remainder failed,
+// salvages their WALs, solves the group's latest complete recovery line, and
+// invokes cfg.Restart once per crashed member with a line-anchored recovery —
+// while the surviving members keep running. cfg.Coordinator is required.
+func SuperviseGroup(members []GroupNode, cfg GroupSuperConfig) *GroupSupervisor {
+	ms := make([]super.GroupMember, len(members))
+	for i, m := range members {
+		ms[i] = super.GroupMember{Name: m.Name, VM: m.Node.vm, WALPath: m.WALPath}
+	}
+	return super.WatchGroup(ms, cfg)
 }
 
 // Recover reads a write-ahead log written by EnableWAL — including one left

@@ -37,8 +37,9 @@ const (
 	// ActCrash fail-stops a netsim host permanently at counter At.
 	ActCrash ActionKind = iota + 1
 	// ActPartition cuts Hosts from HostsB over the window [At, Until), healed
-	// at Until. Heal is global in netsim, so a valid plan's partition windows
-	// never overlap.
+	// at Until. Windows may overlap: each partition heals by its own handle
+	// (netsim.HealPartition), so concurrent cuts coexist and a link cut by
+	// two windows stays cut until both end.
 	ActPartition
 	// ActLinkLoss sets the directional From→To drop rate to Rate over
 	// [At, Until), restoring lossless delivery at Until.
@@ -79,14 +80,11 @@ type Plan struct {
 	Actions []Action
 }
 
-// Validate checks the plan up front: rates in [0,1], windows well-formed,
-// partition windows non-overlapping (netsim's Heal clears every cut, so
-// overlapping windows would heal each other early), and no action crashing
-// pilot — the pilot VM dies via KillAt so its death lands between two
-// recorded events, not mid-delivery.
+// Validate checks the plan up front: rates in [0,1], windows well-formed, and
+// no action crashing pilot — the pilot VM dies via KillAt so its death lands
+// between two recorded events, not mid-delivery. Partition windows may
+// overlap freely: each cut heals by its own netsim handle.
 func (p Plan) Validate(pilot string) error {
-	type window struct{ at, until ids.GCount }
-	var parts []window
 	for i, a := range p.Actions {
 		switch a.Kind {
 		case ActCrash:
@@ -110,7 +108,6 @@ func (p Plan) Validate(pilot string) error {
 			if a.Until <= a.At {
 				return fmt.Errorf("chaos: action %d: partition window [%d,%d) is empty", i, a.At, a.Until)
 			}
-			parts = append(parts, window{a.At, a.Until})
 		case ActLinkLoss:
 			if a.From == "" || a.To == "" {
 				return fmt.Errorf("chaos: action %d: link-loss needs from and to", i)
@@ -123,13 +120,6 @@ func (p Plan) Validate(pilot string) error {
 			}
 		default:
 			return fmt.Errorf("chaos: action %d: unknown kind %v", i, a.Kind)
-		}
-	}
-	sort.Slice(parts, func(i, j int) bool { return parts[i].at < parts[j].at })
-	for i := 1; i < len(parts); i++ {
-		if parts[i].at < parts[i-1].until {
-			return fmt.Errorf("chaos: partition windows [%d,%d) and [%d,%d) overlap — netsim heal is global",
-				parts[i-1].at, parts[i-1].until, parts[i].at, parts[i].until)
 		}
 	}
 	return nil
@@ -405,8 +395,13 @@ func NewEngine(p Plan, pilot string, net *netsim.Network, kill func()) (*Engine,
 		case ActCrash:
 			e.points = append(e.points, firePoint{a.At, func() { net.CrashHost(a.Hosts[0]) }})
 		case ActPartition:
-			e.points = append(e.points, firePoint{a.At, func() { net.Partition(a.Hosts, a.HostsB) }})
-			e.points = append(e.points, firePoint{a.Until, net.Heal})
+			// The cut and its heal share the handle via the closure variable;
+			// the observer fires points in counter order on one goroutine, so
+			// the install always precedes the heal. Healing by handle leaves
+			// any overlapping partition's cuts in place.
+			var pid netsim.PartitionID
+			e.points = append(e.points, firePoint{a.At, func() { pid = net.Partition(a.Hosts, a.HostsB) }})
+			e.points = append(e.points, firePoint{a.Until, func() { net.HealPartition(pid) }})
 		case ActLinkLoss:
 			e.points = append(e.points, firePoint{a.At, func() { net.SetLinkLoss(a.From, a.To, a.Rate) }})
 			e.points = append(e.points, firePoint{a.Until, func() { net.SetLinkLoss(a.From, a.To, 0) }})

@@ -93,10 +93,6 @@ func TestValidateRejections(t *testing.T) {
 		{"partition empty window", Plan{Actions: []Action{
 			{Kind: ActPartition, At: 5, Until: 5, Hosts: []string{"a"}, HostsB: []string{"b"}},
 		}}, "empty"},
-		{"overlapping partitions", Plan{Actions: []Action{
-			{Kind: ActPartition, At: 1, Until: 10, Hosts: []string{"a"}, HostsB: []string{"b"}},
-			{Kind: ActPartition, At: 5, Until: 15, Hosts: []string{"a"}, HostsB: []string{"b"}},
-		}}, "overlap"},
 		{"loss rate out of range", Plan{Actions: []Action{
 			{Kind: ActLinkLoss, At: 1, Until: 2, From: "a", To: "b", Rate: 1.5},
 		}}, "outside [0,1]"},
@@ -109,6 +105,44 @@ func TestValidateRejections(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: Validate = %v, want error containing %q", tc.name, err, tc.want)
 		}
+	}
+}
+
+// Overlapping partition windows are valid since netsim heals per handle: a
+// pair cut by two windows stays cut until the LAST covering window ends, and
+// a pair cut by only the longer window is unaffected by the shorter's heal.
+func TestOverlappingPartitionWindows(t *testing.T) {
+	p := Plan{Actions: []Action{
+		{Kind: ActPartition, At: 10, Until: 40, Hosts: []string{"a"}, HostsB: []string{"b", "c"}},
+		{Kind: ActPartition, At: 20, Until: 60, Hosts: []string{"a"}, HostsB: []string{"b"}},
+	}}
+	if err := p.Validate("prim"); err != nil {
+		t.Fatalf("overlapping windows must validate, got %v", err)
+	}
+
+	net := netsim.NewNetwork(netsim.Config{Seed: 1})
+	eng, err := NewEngine(p, "prim", net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := eng.Observer()
+	step := func(gc ids.GCount) { obs(0, gc) }
+
+	step(15) // first window open
+	if !net.Partitioned("a", "b") || !net.Partitioned("a", "c") {
+		t.Fatal("first window did not cut a-b and a-c")
+	}
+	step(25) // both windows open: a-b cut twice
+	step(45) // first window healed; second still covers a-b
+	if !net.Partitioned("a", "b") {
+		t.Fatal("a-b healed early: overlapping window's cut was removed by the other's heal")
+	}
+	if net.Partitioned("a", "c") {
+		t.Fatal("a-c still cut after its only covering window healed")
+	}
+	step(65) // second window healed
+	if net.Partitioned("a", "b") {
+		t.Fatal("a-b still cut after every covering window healed")
 	}
 }
 

@@ -1,0 +1,326 @@
+package chaos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/tracelog"
+)
+
+// Multi-VM kill plans: the group generalization of Plan. A group plan names
+// the member VMs of a coordinated-checkpoint group, fail-stops a seeded
+// subset of them (each at a counter on that member's own clock, the way
+// KillAt freezes the pilot), and layers the usual network actions on top,
+// keyed to the group's high-water counter. The plan is recorded into every member's
+// trace, so any salvageable subset of the set carries the full schedule.
+
+// GroupKill fail-stops one member: the member's index in the plan's member
+// list and the value of that member's own global counter to freeze it at.
+type GroupKill struct {
+	Member int
+	At     ids.GCount
+}
+
+// GroupPlan is a complete multi-VM fault schedule.
+type GroupPlan struct {
+	Seed    uint64
+	Members []string    // member host names; index order is the member slot order
+	Kills   []GroupKill // members to fail-stop, sorted by member index
+	Actions []Action    // network actions, fired as the group high-water counter advances
+}
+
+// groupPlanMagic distinguishes a group-plan encoding from a single-VM plan's
+// (whose first byte is the seed's low byte) inside a ChaosPlanEntry spec.
+var groupPlanMagic = []byte("DJGP1\x00")
+
+// GroupOptions shapes group plan generation.
+type GroupOptions struct {
+	// Members are the group's member hosts; kills target these.
+	Members []string
+	// Hosts are non-member hosts (peers) network actions may also involve.
+	Hosts []string
+	// Horizon is the counter range faults are spread over.
+	Horizon ids.GCount
+	// Kills fixes the number of members to fail-stop; 0 lets the seed choose
+	// 1 or 2 (never the whole group when more than one member exists).
+	Kills int
+}
+
+// Validate checks the group plan: at least one member, kills referencing
+// distinct valid members at positive counters, and well-formed network
+// actions that never crash a member host (members die via their kill points,
+// between two recorded events).
+func (p GroupPlan) Validate() error {
+	if len(p.Members) == 0 {
+		return fmt.Errorf("chaos: group plan has no members")
+	}
+	member := map[string]bool{}
+	for _, m := range p.Members {
+		member[m] = true
+	}
+	seen := map[int]bool{}
+	for i, k := range p.Kills {
+		if k.Member < 0 || k.Member >= len(p.Members) {
+			return fmt.Errorf("chaos: kill %d: member index %d outside group of %d", i, k.Member, len(p.Members))
+		}
+		if seen[k.Member] {
+			return fmt.Errorf("chaos: kill %d: member %d killed twice", i, k.Member)
+		}
+		seen[k.Member] = true
+		if k.At <= 0 {
+			return fmt.Errorf("chaos: kill %d: counter %d not positive", i, k.At)
+		}
+	}
+	if err := (Plan{Actions: p.Actions}).Validate(""); err != nil {
+		return err
+	}
+	for i, a := range p.Actions {
+		if a.Kind == ActCrash && member[a.Hosts[0]] {
+			return fmt.Errorf("chaos: action %d: cannot crash member %q via netsim — members die via kills", i, a.Hosts[0])
+		}
+	}
+	return nil
+}
+
+// GenerateGroup expands a seed into a validated group plan, a pure function
+// of (seed, opts) like Generate.
+func GenerateGroup(seed uint64, opts GroupOptions) (GroupPlan, error) {
+	if opts.Horizon <= 0 {
+		return GroupPlan{}, fmt.Errorf("chaos: generate group: horizon must be positive")
+	}
+	if len(opts.Members) == 0 {
+		return GroupPlan{}, fmt.Errorf("chaos: generate group: no members")
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	p := GroupPlan{Seed: seed, Members: append([]string(nil), opts.Members...)}
+	h := int64(opts.Horizon)
+
+	// Kill count: explicit, or seeded 1..2, capped so at least one member
+	// survives a multi-member group.
+	kills := opts.Kills
+	if kills <= 0 {
+		kills = 1 + rng.Intn(2)
+	}
+	if max := len(opts.Members) - 1; max >= 1 && kills > max {
+		kills = max
+	}
+	if kills > len(opts.Members) {
+		kills = len(opts.Members)
+	}
+	// Victims and kill counters: each in the middle band of the horizon, on
+	// the victim's own clock, so every kill interrupts in-flight work after
+	// checkpoints exist to anchor on.
+	perm := rng.Perm(len(opts.Members))
+	for i := 0; i < kills; i++ {
+		p.Kills = append(p.Kills, GroupKill{
+			Member: perm[i],
+			At:     ids.GCount(h/4 + rng.Int63n(h/2+1)),
+		})
+	}
+	sort.Slice(p.Kills, func(i, j int) bool { return p.Kills[i].Member < p.Kills[j].Member })
+
+	// Network actions over members and peers. Partition windows may overlap
+	// (netsim heals per handle); loss epochs perturb datagram outcomes.
+	all := append(append([]string(nil), opts.Members...), opts.Hosts...)
+	for n := rng.Intn(3); n > 0; n-- {
+		if len(all) < 2 {
+			break
+		}
+		mid := ids.GCount(rng.Int63n(h / 2))
+		width := ids.GCount(rng.Int63n(h/8) + 1)
+		a, b := splitHosts(rng, all)
+		p.Actions = append(p.Actions, Action{
+			Kind: ActPartition, At: mid, Until: mid + width, Hosts: a, HostsB: b,
+		})
+	}
+	for n := rng.Intn(3); n > 0; n-- {
+		from := all[rng.Intn(len(all))]
+		to := all[rng.Intn(len(all))]
+		if from == to {
+			continue
+		}
+		at := ids.GCount(rng.Int63n(h))
+		width := ids.GCount(rng.Int63n(h/4) + 1)
+		p.Actions = append(p.Actions, Action{
+			Kind: ActLinkLoss, At: at, Until: at + width,
+			From: from, To: to, Rate: 0.1 + 0.5*rng.Float64(),
+		})
+	}
+	sort.SliceStable(p.Actions, func(i, j int) bool { return p.Actions[i].At < p.Actions[j].At })
+	if err := p.Validate(); err != nil {
+		return GroupPlan{}, err
+	}
+	return p, nil
+}
+
+// Encode serializes the group plan deterministically: magic, seed, member
+// list, kills, then the network actions reusing the single-plan layout.
+func (p GroupPlan) Encode() []byte {
+	buf := append([]byte(nil), groupPlanMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, p.Seed)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Members)))
+	for _, m := range p.Members {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m)))
+		buf = append(buf, m...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Kills)))
+	for _, k := range p.Kills {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(k.Member))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(k.At))
+	}
+	return append(buf, Plan{Seed: p.Seed, Actions: p.Actions}.Encode()...)
+}
+
+// IsGroupPlan reports whether an encoded chaos spec is a group plan.
+func IsGroupPlan(data []byte) bool {
+	return len(data) >= len(groupPlanMagic) && string(data[:len(groupPlanMagic)]) == string(groupPlanMagic)
+}
+
+// DecodeGroupPlan is Encode's inverse.
+func DecodeGroupPlan(data []byte) (GroupPlan, error) {
+	if !IsGroupPlan(data) {
+		return GroupPlan{}, fmt.Errorf("chaos: not a group plan encoding")
+	}
+	data = data[len(groupPlanMagic):]
+	var p GroupPlan
+	off := 0
+	fail := func() (GroupPlan, error) {
+		return GroupPlan{}, fmt.Errorf("chaos: truncated group plan encoding at offset %d", off)
+	}
+	if off+8 > len(data) {
+		return fail()
+	}
+	p.Seed = binary.LittleEndian.Uint64(data[off:])
+	off += 8
+	u32 := func() (uint32, bool) {
+		if off+4 > len(data) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		return v, true
+	}
+	nm, ok := u32()
+	if !ok || nm > 1<<16 {
+		return fail()
+	}
+	for i := uint32(0); i < nm; i++ {
+		n, ok := u32()
+		if !ok || off+int(n) > len(data) {
+			return fail()
+		}
+		p.Members = append(p.Members, string(data[off:off+int(n)]))
+		off += int(n)
+	}
+	nk, ok := u32()
+	if !ok || nk > 1<<16 {
+		return fail()
+	}
+	for i := uint32(0); i < nk; i++ {
+		m, ok1 := u32()
+		if !ok1 || off+8 > len(data) {
+			return fail()
+		}
+		at := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		p.Kills = append(p.Kills, GroupKill{Member: int(m), At: ids.GCount(at)})
+	}
+	inner, err := DecodePlan(data[off:])
+	if err != nil {
+		return GroupPlan{}, err
+	}
+	p.Actions = inner.Actions
+	return p, nil
+}
+
+// RecordGroup appends the group plan to one member's schedule log; call it on
+// every member so any salvageable subset of the set carries the schedule.
+func RecordGroup(logs *tracelog.Set, p GroupPlan) {
+	logs.Schedule.Append(&tracelog.ChaosPlanEntry{Seed: p.Seed, Spec: p.Encode()})
+}
+
+// GroupPlanFromSet recovers the recorded group plan from one member's trace
+// set, or ok=false when the set carries no plan or a single-VM plan.
+func GroupPlanFromSet(set *tracelog.Set) (GroupPlan, bool, error) {
+	idx, err := tracelog.BuildScheduleIndex(set.Schedule)
+	if err != nil {
+		return GroupPlan{}, false, err
+	}
+	if idx.ChaosPlan == nil || !IsGroupPlan(idx.ChaosPlan.Spec) {
+		return GroupPlan{}, false, nil
+	}
+	p, err := DecodeGroupPlan(idx.ChaosPlan.Spec)
+	if err != nil {
+		return GroupPlan{}, false, err
+	}
+	return p, true, nil
+}
+
+// GroupEngine drives a group plan: one per-member observer, each firing that
+// member's kill at its counter, with the network actions driven by the
+// group's high-water clock — the maximum counter any member has reached. No
+// single member's clock may gate the actions: a member parked in the
+// checkpoint barrier (or already killed) would strand a pending partition
+// heal forever, freezing survivors blocked on the partitioned link into
+// false-positive fail-stop detections.
+type GroupEngine struct {
+	engines []*Engine
+
+	mu      sync.Mutex
+	actions *Engine    // shared network fire points, advanced under mu
+	high    ids.GCount // group high-water counter
+}
+
+// NewGroupEngine expands a validated group plan into per-member engines.
+func NewGroupEngine(p GroupPlan, net *netsim.Network) (*GroupEngine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	kills := map[int]ids.GCount{}
+	for _, k := range p.Kills {
+		kills[k.Member] = k.At
+	}
+	actions, err := NewEngine(Plan{Actions: p.Actions}, "", net, nil)
+	if err != nil {
+		return nil, err
+	}
+	g := &GroupEngine{actions: actions}
+	for i := range p.Members {
+		e, err := NewEngine(Plan{KillAt: kills[i]}, "", net, nil)
+		if err != nil {
+			return nil, err
+		}
+		g.engines = append(g.engines, e)
+	}
+	return g, nil
+}
+
+// MemberObserver returns member i's event-observer closure; install it as
+// that member VM's EventObserver. Every member's observer advances the shared
+// network actions (serialized, in counter order, against the group high-water
+// mark) before checking its own kill point.
+func (g *GroupEngine) MemberObserver(i int) func(ids.ThreadNum, ids.GCount) {
+	kill := g.engines[i].Observer()
+	return func(tn ids.ThreadNum, gc ids.GCount) {
+		g.mu.Lock()
+		if gc > g.high {
+			g.high = gc
+		}
+		for g.actions.next < len(g.actions.points) && g.actions.points[g.actions.next].gc <= g.high {
+			g.actions.points[g.actions.next].fn()
+			g.actions.next++
+		}
+		g.mu.Unlock()
+		kill(tn, gc)
+	}
+}
+
+// KillAt reports member i's kill counter, 0 when the plan spares it.
+func (g *GroupEngine) KillAt(i int) ids.GCount {
+	return g.engines[i].killAt
+}

@@ -88,6 +88,23 @@ func List(logs *tracelog.Set) ([]*Snapshot, error) {
 	return out, nil
 }
 
+// At returns the checkpoint anchored at exactly the given counter, or
+// ErrNoCheckpoint when the set retains none there. Group recovery restarts a
+// member from its recovery-line anchor, which is a specific checkpoint, not
+// necessarily the latest one the salvage retained.
+func At(logs *tracelog.Set, gc ids.GCount) (*Snapshot, error) {
+	all, err := List(logs)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range all {
+		if s.GC == gc {
+			return s, nil
+		}
+	}
+	return nil, ErrNoCheckpoint
+}
+
 // Latest returns the most recent checkpoint in a recorded log set.
 func Latest(logs *tracelog.Set) (*Snapshot, error) {
 	all, err := List(logs)

@@ -1,0 +1,440 @@
+package kvapp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/djsock"
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/recline"
+	"repro/internal/super"
+	"repro/internal/tracelog"
+)
+
+// Group-supervised mode: the multi-node generalization of RunSupervised.
+//
+// N open-world member VMs ("m1".."mN") record the same round-structured echo
+// workload against shared uninstrumented peers, each with its own durable WAL.
+// Instead of checkpointing independently, the members checkpoint through a
+// recline.Coordinator: every round ends in one coordinated group checkpoint
+// that stamps a GroupEpochEntry — a complete recovery line — into every
+// member's trace. A seeded multi-VM chaos plan fail-stops a subset of the
+// members, each at a counter on its own clock, and layers partitions and link
+// loss on top. The group supervisor detects the fail-stopped subset (telling
+// barrier-parked survivors from the dead), salvages the crashed WALs, solves
+// the set's latest complete recovery line, restarts each crashed member from
+// its line anchor while the survivors keep running with reduced membership,
+// and the run then verifies convergence member by member: each crashed
+// member's recovered replay must equal the undisturbed baseline replay of the
+// same salvaged log, and each survivor's live store must equal a from-zero
+// replay of its in-memory log.
+
+// GroupConfig sizes one group-supervised chaos run.
+type GroupConfig struct {
+	// Dir is the working directory for the member WALs (created if needed).
+	Dir string
+	// Seed expands into the group fault schedule and seeds netsim.
+	Seed uint64
+	// Members is the group size. 0 means 3.
+	Members int
+	// Horizon is the counter range faults spread over. 0 means 2000.
+	Horizon ids.GCount
+	// Keep is the checkpoint retention for WAL truncation. 0 means 2.
+	Keep int
+	// Heartbeat / FailAfter tune the group supervisor (see super.GroupConfig).
+	// FailAfter must comfortably exceed netsim's 50ms partition
+	// connect-timeout; 0 means 400ms.
+	Heartbeat time.Duration
+	FailAfter time.Duration
+	// Plan overrides the generated schedule (Seed still seeds netsim).
+	Plan *chaos.GroupPlan
+}
+
+// GroupMemberResult reports one member's fate and convergence check.
+type GroupMemberResult struct {
+	// Name is the member's host name ("m1"..).
+	Name string
+	// Killed reports the plan fail-stops this member; Crashed that the
+	// supervisor detected and recovered it.
+	Killed  bool
+	Crashed bool
+	// OnLine reports a crashed member was restarted from its anchor on the
+	// episode's recovery line (not a latest-checkpoint fallback).
+	OnLine bool
+	// RecoveredDigest is the member's final store digest: the restart
+	// replay's for a crashed member, the live store's for a survivor.
+	RecoveredDigest uint64
+	// BaselineDigest is the undisturbed replay digest: the salvaged log from
+	// its oldest anchor for a crashed member, the in-memory log from zero for
+	// a survivor.
+	BaselineDigest uint64
+	// Converged reports RecoveredDigest == BaselineDigest.
+	Converged bool
+	// Rounds is how many coordinated rounds the member completed before
+	// crashing or finishing.
+	Rounds int
+}
+
+// GroupResult reports one group-supervised chaos run.
+type GroupResult struct {
+	// Plan is the multi-VM fault schedule the run executed.
+	Plan chaos.GroupPlan
+	// Outcome is the group supervision outcome (episodes, solved lines).
+	Outcome *super.GroupOutcome
+	// Members holds one result per member, in member order.
+	Members []GroupMemberResult
+	// Line is the first episode's chosen recovery line (nil without a crash).
+	Line *recline.Line
+	// Epochs is how many coordinated checkpoint rounds completed.
+	Epochs uint64
+	// ClusterDigest folds the members' recovered digests; BaselineClusterDigest
+	// folds their baseline digests. Converged reports the two folds equal and
+	// every member individually converged.
+	ClusterDigest         uint64
+	BaselineClusterDigest uint64
+	Converged             bool
+	// OnLine reports every plan-killed member crashed and was restarted from
+	// its recovery-line anchor.
+	OnLine bool
+	// Metrics is the group supervisor's metric snapshot.
+	Metrics obs.Snapshot
+}
+
+// RunGroupSupervised executes one seeded multi-VM chaos-supervision episode.
+func RunGroupSupervised(cfg GroupConfig) (*GroupResult, error) {
+	if cfg.Members <= 0 {
+		cfg.Members = 3
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = defaultHorizon
+	}
+	if cfg.Keep <= 0 {
+		cfg.Keep = defaultKeep
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 400 * time.Millisecond
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("kvapp: group: %w", err)
+	}
+	names := make([]string, cfg.Members)
+	for i := range names {
+		names[i] = fmt.Sprintf("m%d", i+1)
+	}
+	peers := []string{"p1", "p2"}
+	var plan chaos.GroupPlan
+	if cfg.Plan != nil {
+		plan = *cfg.Plan
+		if err := plan.Validate(); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		plan, err = chaos.GenerateGroup(cfg.Seed, chaos.GroupOptions{
+			Members: names, Hosts: peers, Horizon: cfg.Horizon,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &GroupResult{Plan: plan}
+
+	net := netsim.NewNetwork(netsim.Config{
+		Seed: int64(cfg.Seed),
+		Chaos: netsim.Chaos{
+			ConnectDelayMax: 200 * time.Microsecond,
+			DeliverDelayMax: 100 * time.Microsecond,
+		},
+	})
+	for _, p := range peers {
+		if err := startEchoPeer(net, p, echoPort); err != nil {
+			return nil, err
+		}
+	}
+	engine, err := chaos.NewGroupEngine(plan, net)
+	if err != nil {
+		return nil, err
+	}
+
+	vms := make([]*core.VM, cfg.Members)
+	walPaths := make([]string, cfg.Members)
+	stores := make([]map[string]string, cfg.Members)
+	rounds := make([]int, cfg.Members)
+	vmIDs := make([]ids.DJVMID, cfg.Members)
+	for i := range vms {
+		walPaths[i] = filepath.Join(cfg.Dir, names[i]+".wal")
+		vm, err := core.NewVM(core.Config{
+			ID: ids.DJVMID(i + 1), Mode: ids.Record, World: ids.OpenWorld,
+			EventObserver: engine.MemberObserver(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := vm.EnableWAL(walPaths[i], tracelog.WALOptions{SyncEvery: 8}); err != nil {
+			return nil, err
+		}
+		chaos.RecordGroup(vm.Logs(), plan)
+		vms[i] = vm
+		vmIDs[i] = vm.ID()
+		stores[i] = map[string]string{}
+	}
+	coord := recline.NewCoordinator(vmIDs...)
+
+	// The workload bound: record and replay exit the round loop at the same
+	// deterministic counter value, comfortably past every kill point.
+	limit := 2 * cfg.Horizon
+
+	supMetrics := &obs.Metrics{}
+	recovered := make([]*replayOutcome, cfg.Members)
+	members := make([]super.GroupMember, cfg.Members)
+	for i := range members {
+		members[i] = super.GroupMember{Name: names[i], VM: vms[i], WALPath: walPaths[i]}
+	}
+	gsup := super.WatchGroup(members, super.GroupConfig{
+		Heartbeat:   cfg.Heartbeat,
+		FailAfter:   cfg.FailAfter,
+		Metrics:     supMetrics,
+		Coordinator: coord,
+		Restart: func(i int, rec *super.MemberRecovery) error {
+			out, err := replayGroupMember(coord, vmIDs[i], rec.Logs, rec.Checkpoint, limit)
+			if err != nil {
+				return err
+			}
+			recovered[i] = out
+			return nil
+		},
+	})
+
+	// Start every member's recorded workload. A member that reaches the bound
+	// leaves the coordinator (releasing any barrier-parked peers) and tells
+	// the supervisor it finished cleanly; a killed member simply freezes and
+	// leaks, which is what fail-stop means here.
+	for i := range vms {
+		i := i
+		afterCkpt := func(round int) {
+			rounds[i] = round + 1
+			// ErrNoAnchor in the first keep-1 rounds is expected; any other
+			// failure degrades durability but must not stop recording.
+			vms[i].TruncateWAL(cfg.Keep) //nolint:errcheck
+		}
+		runGroupWorkload(vms[i], net, coord, names[i], stores[i], 0, limit, afterCkpt, func() {
+			coord.Remove(vmIDs[i])
+			gsup.MarkDone(i)
+		})
+	}
+
+	outcome, err := gsup.Wait()
+	res.Outcome = outcome
+	if err != nil {
+		return res, err
+	}
+	if len(plan.Kills) > 0 && (outcome == nil || !outcome.Detected) {
+		return res, fmt.Errorf("kvapp: group: no kill fired (plan kills %d members)", len(plan.Kills))
+	}
+	if outcome != nil && len(outcome.Episodes) > 0 {
+		res.Line = outcome.Episodes[0].Line
+	}
+	res.Epochs = coord.Epochs()
+
+	killed := make(map[int]bool, len(plan.Kills))
+	for _, k := range plan.Kills {
+		killed[k.Member] = true
+	}
+	recoveries := make(map[int]*super.MemberRecovery)
+	if outcome != nil {
+		for _, ep := range outcome.Episodes {
+			for _, rec := range ep.Recoveries {
+				recoveries[rec.Member] = rec
+			}
+		}
+	}
+
+	res.OnLine = true
+	res.Converged = true
+	for i := range vms {
+		mr := GroupMemberResult{Name: names[i], Killed: killed[i], Rounds: rounds[i]}
+		if rec, ok := recoveries[i]; ok {
+			if recovered[i] == nil {
+				return res, fmt.Errorf("kvapp: group: member %s recovered without a replay outcome", names[i])
+			}
+			mr.Crashed, mr.OnLine = true, rec.OnLine
+			mr.RecoveredDigest = recovered[i].digest
+			baseline, err := replayGroupBaseline(coord, vmIDs[i], recovered[i].logs, rec.Report.BaseGC, limit)
+			if err != nil {
+				return res, fmt.Errorf("kvapp: group: member %s baseline: %w", names[i], err)
+			}
+			mr.BaselineDigest = baseline.digest
+		} else {
+			// Survivor: the live store is the truth; the baseline replays the
+			// never-truncated in-memory log from zero.
+			vms[i].Wait()
+			vms[i].Close()
+			mr.RecoveredDigest = digestStore(stores[i])
+			baseline, err := replayGroupMember(coord, vmIDs[i], vms[i].Logs(), nil, limit)
+			if err != nil {
+				return res, fmt.Errorf("kvapp: group: member %s baseline: %w", names[i], err)
+			}
+			mr.BaselineDigest = baseline.digest
+		}
+		mr.Converged = mr.RecoveredDigest == mr.BaselineDigest
+		if !mr.Converged {
+			res.Converged = false
+		}
+		if mr.Killed && !(mr.Crashed && mr.OnLine) {
+			res.OnLine = false
+		}
+		res.Members = append(res.Members, mr)
+	}
+	res.ClusterDigest = digestCluster(res.Members, false)
+	res.BaselineClusterDigest = digestCluster(res.Members, true)
+	if res.ClusterDigest != res.BaselineClusterDigest {
+		res.Converged = false
+	}
+	res.Metrics = supMetrics.Snapshot()
+	return res, nil
+}
+
+// digestCluster folds the per-member digests (baseline or recovered) into one
+// cluster digest, in member order.
+func digestCluster(members []GroupMemberResult, baseline bool) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, m := range members {
+		h.Write([]byte(m.Name))
+		h.Write([]byte{0})
+		d := m.RecoveredDigest
+		if baseline {
+			d = m.BaselineDigest
+		}
+		for i := 0; i < 8; i++ {
+			b[i] = byte(d >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// replayGroupMember replays one member's salvaged (or in-memory) set resumed
+// from cp (nil = from zero), running to the end of the log or the workload
+// bound, whichever the schedule reaches first.
+func replayGroupMember(coord *recline.Coordinator, id ids.DJVMID, logs *tracelog.Set, cp *checkpoint.Snapshot, limit ids.GCount) (*replayOutcome, error) {
+	store := map[string]string{}
+	startRound := 0
+	var resume *core.ResumePoint
+	if cp != nil {
+		r, s, err := decodeSupState(cp.Data)
+		if err != nil {
+			return nil, err
+		}
+		startRound, store = r, s
+		rp := cp.Resume
+		resume = &rp
+	}
+	vm, err := core.NewVM(core.Config{
+		ID: id, Mode: ids.Replay, World: ids.OpenWorld,
+		ReplayLogs: logs, Resume: resume, StopAtLogEnd: true,
+		StallTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Open-world replay never dials the network; a fresh empty one satisfies
+	// the env plumbing, and the coordinator is never consulted in replay.
+	runGroupWorkload(vm, netsim.NewNetwork(netsim.Config{}), coord, "replay", store, startRound, limit, nil, nil)
+	vm.Wait()
+	return &replayOutcome{digest: digestStore(store), logs: logs}, nil
+}
+
+// replayGroupBaseline replays the member's set from its oldest usable anchor:
+// from zero for an untruncated log, else from the checkpoint at the
+// truncation base.
+func replayGroupBaseline(coord *recline.Coordinator, id ids.DJVMID, logs *tracelog.Set, baseGC ids.GCount, limit ids.GCount) (*replayOutcome, error) {
+	if baseGC == 0 {
+		return replayGroupMember(coord, id, logs, nil, limit)
+	}
+	cps, err := checkpoint.List(logs)
+	if err != nil {
+		return nil, err
+	}
+	if len(cps) == 0 {
+		return nil, fmt.Errorf("kvapp: truncated log (base %d) with no checkpoint", baseGC)
+	}
+	return replayGroupMember(coord, id, logs, cps[0], limit)
+}
+
+// echoRoundTripBounded is echoRoundTrip with an SO_TIMEOUT on every read. A
+// group member must never block unboundedly inside a round: a partition that
+// parks the echo response in the network would otherwise freeze the member
+// outside the coordinator's barrier — while the other members, parked AT the
+// barrier waiting for it, stop advancing the clocks that would fire the
+// plan's heal — until the supervisor misreads the member as fail-stopped.
+// Timeouts are recorded as the read's outcome, so replay reproduces them.
+func echoRoundTripBounded(t *core.Thread, env *djsock.Env, peer, payload string) string {
+	s, err := env.Connect(t, netsim.Addr{Host: peer, Port: echoPort})
+	if err != nil {
+		return "unreachable"
+	}
+	defer s.Close(t)
+	if _, err := s.Write(t, []byte(payload)); err != nil {
+		return "write-error"
+	}
+	buf := make([]byte, len(payload))
+	for got := 0; got < len(buf); {
+		n, err := s.ReadTimeout(t, buf[got:], 20*time.Millisecond)
+		if err != nil {
+			return "read-error"
+		}
+		got += n
+	}
+	return string(buf)
+}
+
+// runGroupWorkload starts one member's round loop on vm. Each round spawns one
+// worker per peer (echo round trip, record the outcome in the monitored
+// store), joins them, then takes one coordinated group checkpoint — in record
+// mode that blocks at the barrier until every live member of the round has
+// arrived. The loop exits once the member's own counter passes limit, a bound
+// that replays deterministically; afterCkpt (record only — no critical
+// events) handles truncation, and onDone fires after the loop so a finishing
+// member can leave the group cleanly.
+func runGroupWorkload(vm *core.VM, net *netsim.Network, coord *recline.Coordinator, host string, store map[string]string, startRound int, limit ids.GCount, afterCkpt func(round int), onDone func()) {
+	env := djsock.NewEnv(vm, net, host)
+	mon := core.NewMonitor()
+	mon.Register(vm)
+	peers := []string{"p1", "p2"}
+	vm.Start(func(main *core.Thread) {
+		for r := startRound; vm.Clock() < limit; r++ {
+			workers := make([]*core.Thread, supWorkers)
+			for w := 0; w < supWorkers; w++ {
+				w := w
+				r := r
+				workers[w] = main.Spawn(func(t *core.Thread) {
+					key := fmt.Sprintf("k%02d", (r*supWorkers+w)%16)
+					val := echoRoundTripBounded(t, env, peers[w%len(peers)], fmt.Sprintf("r%d.w%d", r, w))
+					mon.Enter(t)
+					store[key] = val
+					mon.Exit(t)
+				})
+			}
+			for _, w := range workers {
+				main.Join(w)
+			}
+			r := r
+			coord.Checkpoint(main, func() []byte { return encodeSupState(r+1, store) })
+			if afterCkpt != nil {
+				afterCkpt(r)
+			}
+		}
+		if onDone != nil {
+			onDone()
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package kvapp
+
+import (
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// One full group-supervised chaos episode: seeded multi-VM faults, in-situ
+// kills, coordinated epochs, recovery-line solve, anchored restarts of the
+// crashed members while survivors keep running, and per-member plus cluster
+// digest convergence.
+func TestGroupSupervisedRun(t *testing.T) {
+	res, err := RunGroupSupervised(GroupConfig{
+		Dir:  t.TempDir(),
+		Seed: 42,
+	})
+	if err != nil {
+		t.Fatalf("RunGroupSupervised: %v", err)
+	}
+	if res.Outcome == nil || !res.Outcome.Detected {
+		t.Fatalf("supervisor never detected a kill (plan kills %d)", len(res.Plan.Kills))
+	}
+	if res.Epochs == 0 {
+		t.Fatalf("no coordinated epochs completed")
+	}
+	if res.Line == nil {
+		t.Fatalf("no recovery line solved")
+	}
+	if !res.OnLine {
+		t.Fatalf("a killed member was not restarted from its line anchor: %+v", res.Members)
+	}
+	if !res.Converged {
+		t.Fatalf("cluster divergence: recovered %x, baseline %x, members %+v",
+			res.ClusterDigest, res.BaselineClusterDigest, res.Members)
+	}
+	kills := len(res.Plan.Kills)
+	if got := res.Metrics.Recovery.Recoveries; got != uint64(kills) {
+		t.Fatalf("recoveries = %d, want %d (one per killed member)", got, kills)
+	}
+	if res.Metrics.MTTR.Count == 0 {
+		t.Fatalf("no MTTR observations")
+	}
+	crashed := 0
+	for _, m := range res.Members {
+		if m.Killed != m.Crashed {
+			t.Fatalf("member %s: killed=%v crashed=%v", m.Name, m.Killed, m.Crashed)
+		}
+		if m.Crashed {
+			crashed++
+		} else if m.Rounds == 0 {
+			t.Fatalf("survivor %s completed no rounds", m.Name)
+		}
+	}
+	if crashed != kills {
+		t.Fatalf("crashed %d members, plan kills %d", crashed, kills)
+	}
+	if crashed >= len(res.Members) {
+		t.Fatalf("no member survived (%d/%d crashed)", crashed, len(res.Members))
+	}
+}
+
+// The same seed must expand to identical group-plan bytes and converge on a
+// second run.
+func TestGroupSeedReproducible(t *testing.T) {
+	opts := chaos.GroupOptions{Members: []string{"m1", "m2", "m3"}, Hosts: []string{"p1", "p2"}, Horizon: 2000}
+	p1, err := chaos.GenerateGroup(7, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := chaos.GenerateGroup(7, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p1.Encode()) != string(p2.Encode()) {
+		t.Fatalf("group plan generation is not deterministic")
+	}
+	rt, err := chaos.DecodeGroupPlan(p1.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if string(rt.Encode()) != string(p1.Encode()) {
+		t.Fatalf("group plan encode/decode does not round-trip")
+	}
+
+	for run := 0; run < 2; run++ {
+		res, err := RunGroupSupervised(GroupConfig{Dir: t.TempDir(), Seed: 7})
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if !res.Converged {
+			t.Fatalf("run %d did not converge: %+v", run, res.Members)
+		}
+		if string(res.Plan.Encode()) != string(p1.Encode()) {
+			t.Fatalf("run %d executed a different plan than the seed generates", run)
+		}
+	}
+}
+
+// A two-kill plan: both victims recover from the same (or successive) lines
+// while the remaining member finishes on its own.
+func TestGroupTwoKills(t *testing.T) {
+	plan, err := chaos.GenerateGroup(99, chaos.GroupOptions{
+		Members: []string{"m1", "m2", "m3"}, Hosts: []string{"p1", "p2"},
+		Horizon: 2000, Kills: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Kills) != 2 {
+		t.Fatalf("plan kills %d members, want 2", len(plan.Kills))
+	}
+	res, err := RunGroupSupervised(GroupConfig{Dir: t.TempDir(), Seed: 99, Plan: &plan})
+	if err != nil {
+		t.Fatalf("RunGroupSupervised: %v", err)
+	}
+	if !res.Converged || !res.OnLine {
+		t.Fatalf("two-kill run: converged=%v online=%v members %+v", res.Converged, res.OnLine, res.Members)
+	}
+	if got := res.Metrics.Recovery.Recoveries; got != 2 {
+		t.Fatalf("recoveries = %d, want 2", got)
+	}
+}

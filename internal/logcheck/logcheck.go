@@ -171,6 +171,48 @@ func checkSchedule(rep *Report, vm ids.DJVMID, sched *tracelog.ScheduleIndex) {
 		}
 	}
 	checkObjOrder(rep, vm, sched)
+	checkGroupEpochs(rep, vm, sched)
+}
+
+// checkGroupEpochs verifies the coordinated-checkpoint stamps: epoch ids must
+// be strictly increasing in append order, each stamp must land inside the
+// replayable range, and the stamping VM must appear in its own member list
+// with the stamp's counter as its anchor — backed by a checkpoint at exactly
+// that counter, since a stamp without its anchor names a recovery line this
+// member can never rejoin.
+func checkGroupEpochs(rep *Report, vm ids.DJVMID, sched *tracelog.ScheduleIndex) {
+	cps := make(map[ids.GCount]bool, len(sched.Checkpoints))
+	for _, cp := range sched.Checkpoints {
+		cps[cp.GC] = true
+	}
+	var lastEpoch uint64
+	for i, ge := range sched.GroupEpochs {
+		if i > 0 && ge.Epoch <= lastEpoch {
+			rep.addf(vm, "group epoch %d follows epoch %d — ids not strictly increasing", ge.Epoch, lastEpoch)
+		}
+		lastEpoch = ge.Epoch
+		if ge.GC >= sched.Meta.FinalGC {
+			rep.addf(vm, "group epoch %d stamped at counter %d beyond final counter %d", ge.Epoch, ge.GC, sched.Meta.FinalGC)
+		}
+		if ge.GC < sched.BaseGC {
+			rep.addf(vm, "group epoch %d stamped at counter %d below truncation base %d", ge.Epoch, ge.GC, sched.BaseGC)
+		}
+		self := false
+		for _, m := range ge.Members {
+			if m.VM == vm {
+				self = true
+				if m.AnchorGC != ge.GC {
+					rep.addf(vm, "group epoch %d anchors this VM at counter %d but was stamped at %d", ge.Epoch, m.AnchorGC, ge.GC)
+				}
+			}
+		}
+		if !self {
+			rep.addf(vm, "group epoch %d omits the stamping VM from its member list", ge.Epoch)
+		}
+		if !cps[ge.GC] {
+			rep.addf(vm, "group epoch %d stamped at counter %d with no checkpoint at that anchor", ge.Epoch, ge.GC)
+		}
+	}
 }
 
 // checkObjOrder verifies the sharded-order records: each object's access runs
@@ -293,6 +335,7 @@ func CheckWorld(sets []*tracelog.Set) *Report {
 	metas := map[ids.DJVMID]tracelog.VMMeta{}
 	indexes := map[ids.DJVMID]*tracelog.NetworkIndex{}
 	dgIndexes := map[ids.DJVMID]*tracelog.DatagramIndex{}
+	epochs := map[ids.DJVMID][]tracelog.GroupEpochEntry{}
 
 	for _, set := range sets {
 		sub := CheckSet(set)
@@ -306,11 +349,39 @@ func CheckWorld(sets []*tracelog.Set) *Report {
 			continue
 		}
 		metas[sched.Meta.VM] = sched.Meta
+		epochs[sched.Meta.VM] = sched.GroupEpochs
 		if ni, err := tracelog.BuildNetworkIndex(set.Network); err == nil {
 			indexes[sched.Meta.VM] = ni
 		}
 		if di, err := tracelog.BuildDatagramIndex(set.Datagram); err == nil {
 			dgIndexes[sched.Meta.VM] = di
+		}
+	}
+
+	// Every carrier of a group-epoch stamp must agree on the epoch's member
+	// list: the stamps are correlated copies of one recovery line, and a
+	// disagreement means the sets are from different runs (or a coordinator
+	// bug) — the line solver would refuse the epoch.
+	type carrier struct {
+		vm      ids.DJVMID
+		members []tracelog.GroupMember
+	}
+	ref := map[uint64]carrier{}
+	vms := make([]ids.DJVMID, 0, len(epochs))
+	for vm := range epochs {
+		vms = append(vms, vm)
+	}
+	sort.Slice(vms, func(i, j int) bool { return vms[i] < vms[j] })
+	for _, vm := range vms {
+		for _, ge := range epochs[vm] {
+			first, ok := ref[ge.Epoch]
+			if !ok {
+				ref[ge.Epoch] = carrier{vm: vm, members: ge.Members}
+				continue
+			}
+			if !sameGroupMembers(first.members, ge.Members) {
+				rep.addf(vm, "group epoch %d member list disagrees with VM %d's copy", ge.Epoch, first.vm)
+			}
 		}
 	}
 
@@ -341,4 +412,18 @@ func CheckWorld(sets []*tracelog.Set) *Report {
 		}
 	}
 	return rep
+}
+
+// sameGroupMembers reports whether two stamped member lists are identical
+// (both are sorted by VM at stamp time).
+func sameGroupMembers(a, b []tracelog.GroupMember) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -311,3 +311,109 @@ func TestRealTruncatedWALPasses(t *testing.T) {
 		t.Errorf("real truncated WAL flagged: %v", chk.Findings)
 	}
 }
+
+// groupEpochSet builds a healthy one-member schedule carrying two
+// coordinated-checkpoint epochs (each stamp preceded by its anchor).
+func groupEpochSet() *tracelog.Set {
+	set := tracelog.NewSet()
+	set.Schedule.Append(&tracelog.VMMeta{VM: 1, Threads: 1, FinalGC: 20})
+	set.Schedule.Append(&tracelog.Interval{Thread: 0, First: 0, Last: 19})
+	set.Schedule.Append(&tracelog.CheckpointEntry{GC: 5, NextThread: 1, State: []byte("s")})
+	set.Schedule.Append(&tracelog.GroupEpochEntry{Epoch: 1, GC: 5, Members: []tracelog.GroupMember{{VM: 1, AnchorGC: 5}, {VM: 2, AnchorGC: 6}}})
+	set.Schedule.Append(&tracelog.CheckpointEntry{GC: 12, NextThread: 1, State: []byte("s")})
+	set.Schedule.Append(&tracelog.GroupEpochEntry{Epoch: 2, GC: 12, Members: []tracelog.GroupMember{{VM: 1, AnchorGC: 12}, {VM: 2, AnchorGC: 13}}})
+	return set
+}
+
+func TestGroupEpochHealthySetPasses(t *testing.T) {
+	if rep := CheckSet(groupEpochSet()); !rep.OK() {
+		t.Errorf("healthy group-epoch set flagged: %v", rep.Findings)
+	}
+}
+
+func TestGroupEpochNonMonotonicDetected(t *testing.T) {
+	set := groupEpochSet()
+	set.Schedule.Append(&tracelog.CheckpointEntry{GC: 15, NextThread: 1, State: []byte("s")})
+	set.Schedule.Append(&tracelog.GroupEpochEntry{Epoch: 2, GC: 15, Members: []tracelog.GroupMember{{VM: 1, AnchorGC: 15}}})
+	rep := CheckSet(set)
+	if !findingsContain(rep, "not strictly increasing") {
+		t.Errorf("repeated epoch id not detected: %v", rep.Findings)
+	}
+}
+
+func TestGroupEpochMissingAnchorCheckpointDetected(t *testing.T) {
+	set := tracelog.NewSet()
+	set.Schedule.Append(&tracelog.VMMeta{VM: 1, Threads: 1, FinalGC: 20})
+	set.Schedule.Append(&tracelog.Interval{Thread: 0, First: 0, Last: 19})
+	set.Schedule.Append(&tracelog.GroupEpochEntry{Epoch: 1, GC: 5, Members: []tracelog.GroupMember{{VM: 1, AnchorGC: 5}}})
+	rep := CheckSet(set)
+	if !findingsContain(rep, "no checkpoint at that anchor") {
+		t.Errorf("anchorless stamp not detected: %v", rep.Findings)
+	}
+}
+
+func TestGroupEpochSelfAnchorMismatchDetected(t *testing.T) {
+	set := tracelog.NewSet()
+	set.Schedule.Append(&tracelog.VMMeta{VM: 1, Threads: 1, FinalGC: 20})
+	set.Schedule.Append(&tracelog.Interval{Thread: 0, First: 0, Last: 19})
+	set.Schedule.Append(&tracelog.CheckpointEntry{GC: 5, NextThread: 1, State: []byte("s")})
+	set.Schedule.Append(&tracelog.GroupEpochEntry{Epoch: 1, GC: 5, Members: []tracelog.GroupMember{{VM: 1, AnchorGC: 7}}})
+	rep := CheckSet(set)
+	if !findingsContain(rep, "but was stamped at") {
+		t.Errorf("self-anchor mismatch not detected: %v", rep.Findings)
+	}
+
+	set2 := tracelog.NewSet()
+	set2.Schedule.Append(&tracelog.VMMeta{VM: 1, Threads: 1, FinalGC: 20})
+	set2.Schedule.Append(&tracelog.Interval{Thread: 0, First: 0, Last: 19})
+	set2.Schedule.Append(&tracelog.CheckpointEntry{GC: 5, NextThread: 1, State: []byte("s")})
+	set2.Schedule.Append(&tracelog.GroupEpochEntry{Epoch: 1, GC: 5, Members: []tracelog.GroupMember{{VM: 2, AnchorGC: 5}}})
+	if rep := CheckSet(set2); !findingsContain(rep, "omits the stamping VM") {
+		t.Errorf("missing self member not detected: %v", rep.Findings)
+	}
+}
+
+func TestGroupEpochBelowBaseDetected(t *testing.T) {
+	set := truncatedSet(8, true)
+	set.Schedule.Append(&tracelog.GroupEpochEntry{Epoch: 1, GC: 4, Members: []tracelog.GroupMember{{VM: 1, AnchorGC: 4}}})
+	rep := CheckSet(set)
+	if !findingsContain(rep, "below truncation base") {
+		t.Errorf("below-base stamp not detected: %v", rep.Findings)
+	}
+}
+
+func TestGroupEpochBeyondFinalDetected(t *testing.T) {
+	set := groupEpochSet()
+	set.Schedule.Append(&tracelog.CheckpointEntry{GC: 19, NextThread: 1, State: []byte("s")})
+	set.Schedule.Append(&tracelog.GroupEpochEntry{Epoch: 3, GC: 99, Members: []tracelog.GroupMember{{VM: 1, AnchorGC: 99}}})
+	rep := CheckSet(set)
+	if !findingsContain(rep, "beyond final counter") {
+		t.Errorf("beyond-final stamp not detected: %v", rep.Findings)
+	}
+}
+
+func TestWorldGroupEpochMemberListMismatchDetected(t *testing.T) {
+	a := tracelog.NewSet()
+	a.Schedule.Append(&tracelog.VMMeta{VM: 1, Threads: 1, FinalGC: 20})
+	a.Schedule.Append(&tracelog.Interval{Thread: 0, First: 0, Last: 19})
+	a.Schedule.Append(&tracelog.CheckpointEntry{GC: 5, NextThread: 1, State: []byte("s")})
+	a.Schedule.Append(&tracelog.GroupEpochEntry{Epoch: 1, GC: 5, Members: []tracelog.GroupMember{{VM: 1, AnchorGC: 5}, {VM: 2, AnchorGC: 6}}})
+	b := tracelog.NewSet()
+	b.Schedule.Append(&tracelog.VMMeta{VM: 2, Threads: 1, FinalGC: 20})
+	b.Schedule.Append(&tracelog.Interval{Thread: 0, First: 0, Last: 19})
+	b.Schedule.Append(&tracelog.CheckpointEntry{GC: 6, NextThread: 1, State: []byte("s")})
+	b.Schedule.Append(&tracelog.GroupEpochEntry{Epoch: 1, GC: 6, Members: []tracelog.GroupMember{{VM: 1, AnchorGC: 5}, {VM: 2, AnchorGC: 7}}})
+	rep := CheckWorld([]*tracelog.Set{a, b})
+	if !findingsContain(rep, "member list disagrees") {
+		t.Errorf("cross-set member-list mismatch not detected: %v", rep.Findings)
+	}
+	// Agreeing copies pass.
+	b2 := tracelog.NewSet()
+	b2.Schedule.Append(&tracelog.VMMeta{VM: 2, Threads: 1, FinalGC: 20})
+	b2.Schedule.Append(&tracelog.Interval{Thread: 0, First: 0, Last: 19})
+	b2.Schedule.Append(&tracelog.CheckpointEntry{GC: 6, NextThread: 1, State: []byte("s")})
+	b2.Schedule.Append(&tracelog.GroupEpochEntry{Epoch: 1, GC: 6, Members: []tracelog.GroupMember{{VM: 1, AnchorGC: 5}, {VM: 2, AnchorGC: 6}}})
+	if rep := CheckWorld([]*tracelog.Set{a, b2}); !rep.OK() {
+		t.Errorf("agreeing world flagged: %v", rep.Findings)
+	}
+}

@@ -123,23 +123,61 @@ func (n *Network) Crashed(name string) bool {
 	return n.crashed[name]
 }
 
+// PartitionID is the handle Partition returns; HealPartition(id) removes that
+// one partition's cuts while any overlapping partitions keep theirs.
+type PartitionID int
+
 // Partition cuts every link between a host on side a and a host on side b:
-// stream segments crossing the cut are parked until Heal, datagrams crossing
-// it are dropped, and connects across it time out. Hosts named on neither
-// side are unaffected. Partitions accumulate: a second call adds more cut
-// pairs.
-func (n *Network) Partition(a, b []string) {
+// stream segments crossing the cut are parked until the cut heals, datagrams
+// crossing it are dropped, and connects across it time out. Hosts named on
+// neither side are unaffected. Partitions accumulate and may overlap: each
+// pair's cut is refcounted, so a link cut by two live partitions stays cut
+// until both heal. The returned handle names this partition for
+// HealPartition.
+func (n *Network) Partition(a, b []string) PartitionID {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.nextPart++
+	id := n.nextPart
+	var pairs []linkKey
 	for _, x := range a {
 		for _, y := range b {
 			if x == y {
 				continue
 			}
-			n.blocked[pairKey(x, y)] = true
+			k := pairKey(x, y)
+			n.blocked[k]++
+			pairs = append(pairs, k)
 		}
 	}
+	n.partitions[id] = pairs
 	n.faults.PartitionedPairs = len(n.blocked)
+	return id
+}
+
+// HealPartition removes the cuts the identified partition installed. Pairs
+// still cut by another live partition stay cut; parked stream segments whose
+// link is now open are redelivered (each with a fresh chaos delivery delay, as
+// a retransmission would see). Healing an unknown or already healed partition
+// is a no-op.
+func (n *Network) HealPartition(id PartitionID) {
+	n.mu.Lock()
+	pairs, ok := n.partitions[id]
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.partitions, id)
+	for _, k := range pairs {
+		if n.blocked[k]--; n.blocked[k] <= 0 {
+			delete(n.blocked, k)
+		}
+	}
+	held := n.releasableHeldLocked()
+	n.faults.PartitionedPairs = len(n.blocked)
+	n.mu.Unlock()
+
+	n.redeliver(held)
 }
 
 // Heal removes every partition cut and redelivers the stream segments parked
@@ -149,11 +187,35 @@ func (n *Network) Heal() {
 	n.mu.Lock()
 	held := n.heldSegs
 	n.heldSegs = nil
-	n.blocked = make(map[linkKey]bool)
+	n.blocked = make(map[linkKey]int)
+	n.partitions = make(map[PartitionID][]linkKey)
 	n.faults.PartitionedPairs = 0
 	n.faults.HeldSegments = 0
 	n.mu.Unlock()
 
+	n.redeliver(held)
+}
+
+// releasableHeldLocked removes and returns the parked segments whose link is
+// no longer cut, leaving the rest parked. Caller holds n.mu.
+func (n *Network) releasableHeldLocked() []heldSegment {
+	var freed []heldSegment
+	kept := n.heldSegs[:0]
+	for _, hs := range n.heldSegs {
+		if n.blockedLocked(hs.s.local.Host, hs.s.remote.Host) {
+			kept = append(kept, hs)
+		} else {
+			freed = append(freed, hs)
+		}
+	}
+	n.heldSegs = kept
+	n.faults.HeldSegments = len(n.heldSegs)
+	return freed
+}
+
+// redeliver re-injects released segments through the delivery path; a segment
+// whose link was cut again in the meantime simply re-parks.
+func (n *Network) redeliver(held []heldSegment) {
 	for _, hs := range held {
 		hs := hs
 		n.after(n.delay(n.chaos.DeliverDelayMin, n.chaos.DeliverDelayMax), func() {
@@ -166,7 +228,7 @@ func (n *Network) Heal() {
 func (n *Network) Partitioned(a, b string) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.blocked[pairKey(a, b)]
+	return n.blocked[pairKey(a, b)] > 0
 }
 
 // SetLinkLoss imposes an additional loss probability on datagrams sent from
@@ -195,7 +257,7 @@ func (n *Network) blockedLocked(a, b string) bool {
 	if len(n.blocked) == 0 {
 		return false
 	}
-	return n.blocked[pairKey(a, b)]
+	return n.blocked[pairKey(a, b)] > 0
 }
 
 // linkLossRate reports the extra loss probability on the from→to link.

@@ -109,12 +109,14 @@ type Network struct {
 	// Fault-plan state (see faults.go): crashed hosts, partition cuts,
 	// per-link loss rates, stream segments parked at a cut, the registry of
 	// established streams a crash must reset, and activity counters.
-	crashed  map[string]bool
-	blocked  map[linkKey]bool
-	linkLoss map[linkKey]float64
-	heldSegs []heldSegment
-	streams  map[*Stream]bool
-	faults   FaultStats
+	crashed    map[string]bool
+	blocked    map[linkKey]int // refcount: how many live partitions cut the pair
+	partitions map[PartitionID][]linkKey
+	nextPart   PartitionID
+	linkLoss   map[linkKey]float64
+	heldSegs   []heldSegment
+	streams    map[*Stream]bool
+	faults     FaultStats
 
 	wg sync.WaitGroup // tracks in-flight deliveries for Quiesce
 }
@@ -140,7 +142,8 @@ func NewNetwork(cfg Config) *Network {
 		hosts:       make(map[string]*host),
 		groups:      make(map[string]map[*DatagramSocket]bool),
 		crashed:     make(map[string]bool),
-		blocked:     make(map[linkKey]bool),
+		blocked:     make(map[linkKey]int),
+		partitions:  make(map[PartitionID][]linkKey),
 		linkLoss:    make(map[linkKey]float64),
 		streams:     make(map[*Stream]bool),
 	}

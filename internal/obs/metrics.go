@@ -55,6 +55,11 @@ type Metrics struct {
 	recoveries atomic.Uint64
 	restarts   atomic.Uint64
 	fallbacks  atomic.Uint64
+	// Group-recovery counters: coordinated checkpoint epochs this VM stamped,
+	// and recovery-line demotions (a candidate epoch rejected because a
+	// member's anchor was lost or a message would be orphaned).
+	groupEpochs   atomic.Uint64
+	lineFallbacks atomic.Uint64
 
 	// Causal-tracing counters: sampled wall-clock timestamp records and
 	// net-span correlation records emitted into the logs (record mode with
@@ -192,6 +197,13 @@ func (m *Metrics) IncRestart() { m.restarts.Add(1) }
 // IncFallback counts one recovery that replayed from zero because no
 // checkpoint was salvageable from the repaired WAL.
 func (m *Metrics) IncFallback() { m.fallbacks.Add(1) }
+
+// IncGroupEpoch counts one coordinated checkpoint epoch stamped by this VM.
+func (m *Metrics) IncGroupEpoch() { m.groupEpochs.Add(1) }
+
+// IncLineFallback counts one recovery-line demotion: a candidate epoch the
+// solver rejected, falling back to an older complete line.
+func (m *Metrics) IncLineFallback() { m.lineFallbacks.Add(1) }
 
 // ObserveMTTR records one crash-to-rejoin recovery latency.
 func (m *Metrics) ObserveMTTR(d time.Duration) { m.MTTR.Observe(d) }

@@ -111,6 +111,11 @@ type RecoveryCounts struct {
 	// Fallbacks is recoveries that replayed from zero because the repaired
 	// WAL held no usable checkpoint.
 	Fallbacks uint64 `json:"fallbacks"`
+	// GroupEpochs is coordinated checkpoint epochs this VM stamped.
+	GroupEpochs uint64 `json:"group_epochs"`
+	// LineFallbacks is recovery-line demotions: candidate epochs rejected
+	// for a lost anchor or an orphaned message.
+	LineFallbacks uint64 `json:"line_fallbacks"`
 }
 
 // CausalCounts groups the causal-tracing counters: the optional correlation
@@ -226,9 +231,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		WALTruncates:      m.walTruncates.Load(),
 	}
 	s.Recovery = RecoveryCounts{
-		Recoveries: m.recoveries.Load(),
-		Restarts:   m.restarts.Load(),
-		Fallbacks:  m.fallbacks.Load(),
+		Recoveries:    m.recoveries.Load(),
+		Restarts:      m.restarts.Load(),
+		Fallbacks:     m.fallbacks.Load(),
+		GroupEpochs:   m.groupEpochs.Load(),
+		LineFallbacks: m.lineFallbacks.Load(),
 	}
 	s.Causal = CausalCounts{
 		Timestamps: m.timestamps.Load(),

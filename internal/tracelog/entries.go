@@ -143,6 +143,16 @@ const (
 	// recorded error/content records, never by re-injecting faults.
 	KindChaosPlan
 
+	// KindGroupEpoch stamps one completed coordinated group checkpoint into
+	// the schedule log (internal/recline): the epoch id, the stamping VM's
+	// own anchor counter, and the full member list with each member's anchor.
+	// Every member of the epoch carries an identical member list, so any
+	// salvageable subset of a distributed log set names its own recovery
+	// lines. Replay ignores the record (the stamp rides inside the same
+	// critical event as its anchor checkpoint); only the recovery-line
+	// solver, logcheck, and WAL compaction consume it.
+	KindGroupEpoch
+
 	// New kinds must be appended here, never inserted above: kind values are
 	// part of the on-disk log format.
 	kindMax
@@ -176,6 +186,7 @@ var kindNames = [...]string{
 	KindObjTimedWait: "obj-timed-wait",
 	KindTruncation:   "truncation",
 	KindChaosPlan:    "chaos-plan",
+	KindGroupEpoch:   "group-epoch",
 }
 
 func (k Kind) String() string {
@@ -711,6 +722,8 @@ func newEntry(k Kind) (Entry, error) {
 		return &TruncationEntry{}, nil
 	case KindChaosPlan:
 		return &ChaosPlanEntry{}, nil
+	case KindGroupEpoch:
+		return &GroupEpochEntry{}, nil
 	default:
 		return nil, corruptf("unknown record kind %d", k)
 	}
@@ -944,4 +957,50 @@ func (c *ChaosPlanEntry) encode(e *enc) {
 func (c *ChaosPlanEntry) decode(d *dec) {
 	c.Seed = d.u64()
 	c.Spec = d.bytes()
+}
+
+// GroupMember is one participant of a coordinated group checkpoint: the
+// member's DJVM id and the counter value of its anchor checkpoint.
+type GroupMember struct {
+	VM       ids.DJVMID
+	AnchorGC ids.GCount
+}
+
+// GroupEpochEntry records one completed coordinated checkpoint epoch. GC is
+// the stamping VM's own anchor counter (the checkpoint event the stamp rides
+// in), duplicated out of Members so WAL compaction and torn-write recovery can
+// clip the record without knowing which VM's log they are rewriting. Members
+// is the full recovery line, sorted by VM id and identical across every
+// member's stamp of the same epoch.
+type GroupEpochEntry struct {
+	Epoch   uint64
+	GC      ids.GCount
+	Members []GroupMember
+}
+
+func (g *GroupEpochEntry) Kind() Kind { return KindGroupEpoch }
+
+func (g *GroupEpochEntry) encode(e *enc) {
+	e.u64(g.Epoch)
+	e.u64(uint64(g.GC))
+	e.u64(uint64(len(g.Members)))
+	for _, m := range g.Members {
+		e.u32(uint32(m.VM))
+		e.u64(uint64(m.AnchorGC))
+	}
+}
+
+func (g *GroupEpochEntry) decode(d *dec) {
+	g.Epoch = d.u64()
+	g.GC = ids.GCount(d.u64())
+	cnt := d.u64()
+	if d.err != nil || cnt > 1<<20 {
+		d.fail()
+		return
+	}
+	g.Members = make([]GroupMember, cnt)
+	for i := range g.Members {
+		g.Members[i].VM = ids.DJVMID(d.u32())
+		g.Members[i].AnchorGC = ids.GCount(d.u64())
+	}
 }

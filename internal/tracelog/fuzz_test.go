@@ -49,6 +49,22 @@ func FuzzParse(f *testing.F) {
 	trl.Append(&Interval{Thread: 0, First: 121, Last: 199})
 	truncated := trl.Bytes()
 	f.Add(truncated)
+
+	// A group-recovery schedule: coordinated checkpoint anchors with their
+	// epoch stamps, the layout internal/recline's line solver consumes.
+	gl := NewLog()
+	gl.Append(&VMMeta{VM: 1, World: ids.OpenWorld, Threads: 2, FinalGC: 300})
+	gl.Append(&CheckpointEntry{GC: 90, NextThread: 2, TakerThread: 0, MainEventNum: 30, State: []byte("s1")})
+	gl.Append(&GroupEpochEntry{Epoch: 1, GC: 90, Members: []GroupMember{
+		{VM: 1, AnchorGC: 90}, {VM: 2, AnchorGC: 84}, {VM: 3, AnchorGC: 101},
+	}})
+	gl.Append(&CheckpointEntry{GC: 180, NextThread: 2, TakerThread: 0, MainEventNum: 60, State: []byte("s2")})
+	gl.Append(&GroupEpochEntry{Epoch: 2, GC: 180, Members: []GroupMember{
+		{VM: 1, AnchorGC: 180}, {VM: 2, AnchorGC: 175}, {VM: 3, AnchorGC: 190},
+	}})
+	group := gl.Bytes()
+	f.Add(group)
+	f.Add(group[:len(group)-5])
 	f.Add(truncated[:len(truncated)-3])
 	f.Add(healthy[:len(healthy)/2])
 	f.Add([]byte{})

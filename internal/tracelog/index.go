@@ -27,6 +27,10 @@ type ScheduleIndex struct {
 	// ChaosPlan is the embedded fault schedule of a chaos run, nil when the
 	// recording ran without one.
 	ChaosPlan *ChaosPlanEntry
+	// GroupEpochs are the coordinated checkpoint stamps in append (hence
+	// epoch) order. Empty outside group recording; replay never consults
+	// them — the recovery-line solver and logcheck do.
+	GroupEpochs []GroupEpochEntry
 
 	// OrderMode is the order mode the log was recorded under. Logs without an
 	// order-mode record (every global-mode and pre-sharding log) index as
@@ -210,6 +214,13 @@ func BuildScheduleIndex(l *Log) (*ScheduleIndex, error) {
 				return nil, err
 			}
 			idx.ChaosPlan = &v
+		case KindGroupEpoch:
+			var v GroupEpochEntry
+			v.decode(d)
+			if err := recErr(d, k); err != nil {
+				return nil, err
+			}
+			idx.GroupEpochs = append(idx.GroupEpochs, v)
 		default:
 			return nil, unexpectedRecord(k, "schedule")
 		}

@@ -161,6 +161,13 @@ func (s *Set) TruncateWAL(keep int) (*TruncateStats, error) {
 					st.DroppedSchedule++
 					continue
 				}
+			case *GroupEpochEntry:
+				// An epoch anchored below the new base names a checkpoint
+				// this compaction dropped; the stamp goes with it.
+				if v.GC < base {
+					st.DroppedSchedule++
+					continue
+				}
 			}
 			emit(walSchedule, e)
 		}

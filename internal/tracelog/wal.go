@@ -240,10 +240,10 @@ type RecoveryReport struct {
 	Path string
 
 	// Frame scan.
-	Frames         int   // valid frames recovered
-	GoodBytes      int64 // bytes of the valid prefix (including header)
-	DiscardedBytes int64 // bytes dropped from the tail
-	Truncated      bool  // whether anything was discarded
+	Frames         int    // valid frames recovered
+	GoodBytes      int64  // bytes of the valid prefix (including header)
+	DiscardedBytes int64  // bytes dropped from the tail
+	Truncated      bool   // whether anything was discarded
 	Reason         string // why the scan stopped, when Truncated
 
 	// Per-log record counts recovered from the valid prefix.
@@ -530,6 +530,15 @@ func repairSet(s *Set, rep *RecoveryReport) error {
 			// counter value after the stamped event), so a stamp at exactly k
 			// is still consistent with the recovered prefix.
 			if v.GC > k {
+				rep.DroppedSchedule++
+				continue
+			}
+		case *GroupEpochEntry:
+			// An epoch stamp whose own anchor lies at or past the recovered
+			// prefix anchors on a checkpoint this salvage dropped: discard it,
+			// which is exactly how a torn write demotes the group's recovery
+			// line (the epoch can no longer be complete for this member).
+			if v.GC >= k {
 				rep.DroppedSchedule++
 				continue
 			}
