@@ -51,6 +51,7 @@ import (
 	"repro/internal/djgram"
 	"repro/internal/djrpc"
 	"repro/internal/djsock"
+	"repro/internal/explore"
 	"repro/internal/ids"
 	"repro/internal/netsim"
 	"repro/internal/obs"
@@ -249,6 +250,28 @@ type (
 	DivergenceCause = causal.Cause
 	// PerfettoStats summarizes a WritePerfetto export.
 	PerfettoStats = causal.PerfettoStats
+
+	// Log is one in-memory record log; a Logs set holds three (schedule,
+	// network, datagram). Exposed for Config.ScheduleOverride.
+	Log = tracelog.Log
+
+	// ExploreOptions configures a schedule-space exploration run: program
+	// seed, order mode, schedule budget and directive depth. See Explore.
+	ExploreOptions = explore.Options
+	// ExploreResult summarizes one program seed's exploration.
+	ExploreResult = explore.Result
+	// ExploreCampaignResult aggregates exploration across program seeds.
+	ExploreCampaignResult = explore.CampaignResult
+	// ExploreFinding is one schedule-dependent divergence the explorer found:
+	// a synthesized legal schedule whose replay broke determinism or missed
+	// the program's sequential model.
+	ExploreFinding = explore.Finding
+	// ExploreDirective is one forced scheduling decision of a synthesized
+	// schedule — findings carry the minimal list that reproduces them.
+	ExploreDirective = explore.Directive
+	// ExploreCoverage aggregates exploration coverage counters (distinct
+	// schedules, replays, preemption-depth histogram).
+	ExploreCoverage = obs.ExploreStats
 )
 
 // Fault-tolerance errors surfaced through the facade.
@@ -325,6 +348,13 @@ type Config struct {
 	Host string
 	// ReplayLogs supplies the record-phase logs in Replay mode.
 	ReplayLogs *Logs
+	// ScheduleOverride, when non-nil in Replay mode, replays a synthesized
+	// schedule instead of the recorded one while still serving network and
+	// datagram events from ReplayLogs — the schedule-space exploration hook
+	// (see Explore/Shrink and internal/explore). The override must be a
+	// complete, legal schedule log for the same VM identity, world, and
+	// order mode; it is validated exactly like a recording.
+	ScheduleOverride *Log
 	// Resume, optionally, starts replay from a checkpoint.
 	Resume *ResumePoint
 	// RecordJitter, when > 0, yields the processor with probability
@@ -399,18 +429,19 @@ func NewNode(cfg Config) (*Node, error) {
 		peers[p] = true
 	}
 	vm, err := core.NewVM(core.Config{
-		ID:            cfg.ID,
-		Mode:          cfg.Mode,
-		World:         cfg.World,
-		DJVMPeers:     peers,
-		ReplayLogs:    cfg.ReplayLogs,
-		Resume:        cfg.Resume,
-		RecordJitter:  cfg.RecordJitter,
-		StallTimeout:  cfg.StallTimeout,
-		StopAtLogEnd:  cfg.StopAtLogEnd,
-		EventObserver: cfg.EventObserver,
-		OrderMode:     cfg.OrderMode,
-		ObsSampleRate: cfg.ObsSampleRate,
+		ID:               cfg.ID,
+		Mode:             cfg.Mode,
+		World:            cfg.World,
+		DJVMPeers:        peers,
+		ReplayLogs:       cfg.ReplayLogs,
+		ScheduleOverride: cfg.ScheduleOverride,
+		Resume:           cfg.Resume,
+		RecordJitter:     cfg.RecordJitter,
+		StallTimeout:     cfg.StallTimeout,
+		StopAtLogEnd:     cfg.StopAtLogEnd,
+		EventObserver:    cfg.EventObserver,
+		OrderMode:        cfg.OrderMode,
+		ObsSampleRate:    cfg.ObsSampleRate,
 	})
 	if err != nil {
 		return nil, err
@@ -785,4 +816,26 @@ func FinalCounter(logs *Logs) (uint64, error) {
 		return 0, err
 	}
 	return uint64(idx.Meta.FinalGC), nil
+}
+
+// Explore runs schedule-space exploration for one generated program seed:
+// record once, synthesize alternative legal schedules (bounded-preemption
+// systematic frontier plus seeded random mutations), replay each one twice
+// through Config.ScheduleOverride, and report every schedule whose replay
+// broke determinism or whose final state missed the program's sequential
+// model. See internal/explore for the methodology.
+func Explore(opts ExploreOptions) (*ExploreResult, error) { return explore.Run(opts) }
+
+// ExploreCampaign explores seeds consecutive program seeds starting at
+// opts.Seed, aggregating coverage and findings.
+func ExploreCampaign(opts ExploreOptions, seeds int) (*ExploreCampaignResult, error) {
+	return explore.Campaign(opts, seeds)
+}
+
+// Shrink minimizes an exploration finding to its smallest reproducing
+// directive list (delta debugging over forced scheduling decisions). The
+// returned finding reproduces the same divergence kind; the int is the
+// number of candidate schedules replayed while shrinking.
+func Shrink(opts ExploreOptions, f ExploreFinding) (ExploreFinding, int, error) {
+	return explore.Shrink(opts, f)
 }

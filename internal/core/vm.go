@@ -56,6 +56,18 @@ type Config struct {
 	DJVMPeers map[string]bool
 	// ReplayLogs supplies the record-phase logs when Mode is Replay.
 	ReplayLogs *tracelog.Set
+	// ScheduleOverride, when non-nil in replay mode, replaces the recorded
+	// schedule log with a synthesized one: the VM enforces the override's
+	// intervals (and per-object runs in sharded mode) while still serving
+	// network and datagram events from ReplayLogs. This is the schedule-space
+	// exploration hook (internal/explore): any *legal* alternative
+	// interleaving — one in which every event's causal predecessors keep
+	// smaller counters — can be fed here and replayed deterministically. The
+	// override must carry its own vm-meta record and must agree with the
+	// recording's VM identity, world, and order mode; it is validated exactly
+	// like a recorded schedule. An illegal override surfaces as a replay
+	// stall (arm StallTimeout) or a divergence, never as silent corruption.
+	ScheduleOverride *tracelog.Log
 	// Resume, when non-nil in replay mode, starts replay from a checkpoint
 	// instead of the beginning, bounding replay time (§8 future work; see
 	// internal/checkpoint). The application must restore its own state to
@@ -280,6 +292,9 @@ func NewVM(cfg Config) (*VM, error) {
 	if cfg.OrderMode == ids.OrderSharded && cfg.Resume != nil {
 		return nil, fmt.Errorf("core: vm %d: checkpoint resume requires OrderGlobal — fast-forward is defined on the global schedule", cfg.ID)
 	}
+	if cfg.ScheduleOverride != nil && cfg.Mode != ids.Replay {
+		return nil, fmt.Errorf("core: vm %d: ScheduleOverride is a replay-mode hook (mode %v)", cfg.ID, cfg.Mode)
+	}
 	switch cfg.Mode {
 	case ids.Record:
 		vm.logs = tracelog.NewSet()
@@ -297,7 +312,11 @@ func NewVM(cfg Config) (*VM, error) {
 		if cfg.ReplayLogs == nil {
 			return nil, fmt.Errorf("core: replay VM %d needs ReplayLogs", cfg.ID)
 		}
-		sched, err := tracelog.BuildScheduleIndex(cfg.ReplayLogs.Schedule)
+		schedLog := cfg.ReplayLogs.Schedule
+		if cfg.ScheduleOverride != nil {
+			schedLog = cfg.ScheduleOverride
+		}
+		sched, err := tracelog.BuildScheduleIndex(schedLog)
 		if err != nil {
 			return nil, fmt.Errorf("core: vm %d: schedule log: %w", cfg.ID, err)
 		}

@@ -1,0 +1,5 @@
+package explore
+
+import "repro/internal/progen"
+
+func progOptsPlanted() progen.Opts { return progen.Opts{PlantBug: true} }

@@ -1,0 +1,96 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/progen"
+)
+
+// plantedFinding explores the planted-bug fixture and returns a state
+// finding, padded with extra no-op directives so the shrinker has real work.
+func plantedFinding(t *testing.T, mode ids.OrderMode) (Options, Finding) {
+	t.Helper()
+	opts := Options{Seed: 42, Prog: progOptsPlanted(), OrderMode: mode, Budget: 30}
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Findings {
+		if f.Kind == FindingState {
+			return opts, f
+		}
+	}
+	t.Fatalf("%v: no state finding on planted program", mode)
+	panic("unreachable")
+}
+
+// Satellite: the shrinker must converge on the planted ordering bug to a
+// reproducer of at most 3 directives, within a fixed attempt budget,
+// deterministically for a fixed seed — in both order modes.
+func TestShrinkPlantedBugConverges(t *testing.T) {
+	for _, mode := range []ids.OrderMode{ids.OrderGlobal, ids.OrderSharded} {
+		opts, f := plantedFinding(t, mode)
+		// Pad the directive list with redundant forced picks — directives
+		// naming exactly the thread the schedule runs at those steps anyway —
+		// so the schedule is unchanged but the shrinker has chaff to strip.
+		p := progen.Generate(opts.Seed, opts.Prog)
+		sch, err := simulate(p, p.Atoms(), f.Directives)
+		if err != nil {
+			t.Fatal(err)
+		}
+		forced := map[int]bool{}
+		for _, d := range f.Directives {
+			forced[d.Step] = true
+		}
+		padded := f
+		padded.Directives = append([]Directive{}, f.Directives...)
+		for step := 0; step < 6 && step < len(sch.order); step += 2 {
+			if !forced[step] {
+				padded.Directives = append(padded.Directives, Directive{Step: step, Thread: sch.order[step]})
+			}
+		}
+		min, attempts, err := Shrink(opts, padded)
+		if err != nil {
+			t.Fatalf("%v: shrink: %v", mode, err)
+		}
+		if min.Kind != FindingState {
+			t.Fatalf("%v: shrunk finding kind %q", mode, min.Kind)
+		}
+		if len(min.Directives) == 0 || len(min.Directives) > 3 {
+			t.Fatalf("%v: shrunk to %d directives, want 1..3: %v", mode, len(min.Directives), min.Directives)
+		}
+		if attempts > 100 {
+			t.Fatalf("%v: shrink took %d attempts, budget 100", mode, attempts)
+		}
+		// The minimized reproducer must still reproduce on a fresh engine.
+		again, _, err := Shrink(opts, min)
+		if err != nil {
+			t.Fatalf("%v: re-shrink: %v", mode, err)
+		}
+		if !reflect.DeepEqual(again.Directives, min.Directives) {
+			t.Fatalf("%v: shrink not deterministic: %v vs %v", mode, again.Directives, min.Directives)
+		}
+	}
+}
+
+// Shrinking a finding that never reproduced errors instead of minimizing
+// garbage.
+func TestShrinkNonReproducing(t *testing.T) {
+	opts := Options{Seed: 5, OrderMode: ids.OrderGlobal}
+	bogus := Finding{Seed: 5, OrderMode: ids.OrderGlobal, Kind: FindingState}
+	if _, _, err := Shrink(opts, bogus); err == nil {
+		t.Fatal("shrink accepted a non-reproducing finding")
+	}
+}
+
+// Shrink refuses mismatched options — the reproducer is meaningless under a
+// different program or order mode.
+func TestShrinkOptionMismatch(t *testing.T) {
+	opts := Options{Seed: 1, OrderMode: ids.OrderGlobal}
+	f := Finding{Seed: 2, OrderMode: ids.OrderGlobal, Kind: FindingState}
+	if _, _, err := Shrink(opts, f); err == nil {
+		t.Fatal("shrink accepted a seed mismatch")
+	}
+}

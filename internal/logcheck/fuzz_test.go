@@ -1,0 +1,78 @@
+package logcheck
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/tracelog"
+)
+
+// FuzzCheckSet hardens the log validator against arbitrary schedule bytes.
+// The explorer feeds CheckSet synthesized schedules (tracelog.ComposeSchedule
+// output) before replaying them, so the seed corpus leans on composed logs:
+// a preemption-heavy global order, a sharded order with interleaved object
+// runs, and mutated/truncated variants of each. Whatever the input, CheckSet
+// must return a report (possibly full of findings), never panic, and must be
+// deterministic.
+func FuzzCheckSet(f *testing.F) {
+	meta := tracelog.VMMeta{VM: 1, World: ids.ClosedWorld, Threads: 3}
+
+	// A composed global schedule with preemptions on every other step — the
+	// shape the explorer's bounded-preemption search emits.
+	preempted := tracelog.ComposeSchedule(meta, ids.OrderGlobal, 0,
+		[]ids.ThreadNum{0, 1, 0, 2, 1, 0, 2, 1, 0}, nil, nil)
+	f.Add(preempted.Bytes())
+
+	// A composed sharded schedule: short global order (network/thread events)
+	// plus interleaved per-object access runs.
+	sharded := tracelog.ComposeSchedule(meta, ids.OrderSharded, 0,
+		[]ids.ThreadNum{0, 0, 1, 2, 0},
+		map[ids.ObjectID][]ids.ThreadNum{
+			0: {1, 2, 1, 1, 2},
+			1: {2, 2, 1},
+		}, nil)
+	f.Add(sharded.Bytes())
+
+	// A composed schedule resuming from a checkpoint base, with extras the
+	// composer passes through verbatim.
+	truncated := tracelog.ComposeSchedule(meta, ids.OrderGlobal, 40,
+		[]ids.ThreadNum{1, 1, 2, 0},
+		nil,
+		[]tracelog.Entry{&tracelog.Notify{GC: 41, Woken: []ids.ThreadNum{2}}})
+	f.Add(truncated.Bytes())
+
+	// Characteristic corruptions: truncations and bit flips of the composed
+	// logs, plus degenerate inputs.
+	pb := preempted.Bytes()
+	f.Add(pb[:len(pb)/2])
+	sb := sharded.Bytes()
+	f.Add(sb[:len(sb)-3])
+	mut := append([]byte(nil), pb...)
+	mut[len(mut)/2] ^= 0x41
+	f.Add(mut)
+	f.Add([]byte{})
+	f.Add([]byte{0x07, 0x00, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Logs reach the checker through the decoder; inputs the decoder
+		// rejects never make it to CheckSet.
+		entries, err := tracelog.Parse(data)
+		if err != nil {
+			return
+		}
+		lg := tracelog.NewLog()
+		for _, e := range entries {
+			lg.Append(e)
+		}
+		set := tracelog.NewSet()
+		set.Schedule = lg
+		rep := CheckSet(set)
+		if rep == nil {
+			t.Fatal("CheckSet returned nil report")
+		}
+		rep2 := CheckSet(set)
+		if rep2 == nil || (rep.OK() != rep2.OK()) || len(rep.Findings) != len(rep2.Findings) {
+			t.Fatal("CheckSet is not deterministic")
+		}
+	})
+}

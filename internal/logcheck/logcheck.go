@@ -269,8 +269,12 @@ func checkNetwork(rep *Report, vm ids.DJVMID, sched *tracelog.ScheduleIndex, idx
 	}
 	for ev, cid := range idx.ServerSockets {
 		threadOK(ev, "server-socket")
-		if cid.VM == vm {
-			rep.addf(vm, "accept %v records a connection from this same VM (%v)", ev, cid)
+		// A connection from this same VM is legitimate — a loopback stream
+		// (the explorer's generated programs build their channels this way).
+		// For those the client thread must be one this VM created; foreign
+		// client threads are validated cross-VM by CheckWorld instead.
+		if cid.VM == vm && uint32(cid.Thread) >= sched.Meta.Threads {
+			rep.addf(vm, "accept %v records a loopback connection from unknown thread %d", ev, cid.Thread)
 		}
 	}
 	for ev := range idx.Reads {

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ExploreStats aggregates schedule-exploration coverage: how many distinct
+// schedules a campaign replayed, how many directive lists it tried to get
+// them, how many replay executions ran (two per schedule — the determinism
+// cross-check), how many findings surfaced, and the preemption-depth
+// histogram (how many forced preemptive switches each explored schedule
+// contained beyond the default policy). One value serves a whole campaign
+// across program seeds and order modes; all counters are safe for concurrent
+// update. The zero value is ready to use.
+type ExploreStats struct {
+	Schedules atomic.Uint64 // distinct schedules replayed
+	Attempts  atomic.Uint64 // directive lists simulated (incl. duplicates)
+	Replays   atomic.Uint64 // replay executions
+	Findings  atomic.Uint64 // divergences and model mismatches found
+
+	mu    sync.Mutex
+	depth map[int]uint64 // preemption count → schedules
+}
+
+// NoteSchedule records one replayed schedule with the given preemption count.
+func (s *ExploreStats) NoteSchedule(preemptions int) {
+	s.Schedules.Add(1)
+	s.mu.Lock()
+	if s.depth == nil {
+		s.depth = make(map[int]uint64)
+	}
+	s.depth[preemptions]++
+	s.mu.Unlock()
+}
+
+// ExploreSnapshot is a point-in-time copy of ExploreStats, shaped for JSON.
+type ExploreSnapshot struct {
+	Schedules uint64         `json:"schedules"`
+	Attempts  uint64         `json:"attempts"`
+	Replays   uint64         `json:"replays"`
+	Findings  uint64         `json:"findings"`
+	DepthHist map[int]uint64 `json:"preemption_depth_hist,omitempty"`
+}
+
+// Snapshot copies the current counter values.
+func (s *ExploreStats) Snapshot() ExploreSnapshot {
+	out := ExploreSnapshot{
+		Schedules: s.Schedules.Load(),
+		Attempts:  s.Attempts.Load(),
+		Replays:   s.Replays.Load(),
+		Findings:  s.Findings.Load(),
+	}
+	s.mu.Lock()
+	if len(s.depth) > 0 {
+		out.DepthHist = make(map[int]uint64, len(s.depth))
+		for k, v := range s.depth {
+			out.DepthHist[k] = v
+		}
+	}
+	s.mu.Unlock()
+	return out
+}

@@ -1,0 +1,118 @@
+package progen
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/djsock"
+	"repro/internal/netsim"
+)
+
+// Run is one execution instance of a Program on a VM: the registered shared
+// state plus the thread bodies. Create it with NewRun *before* vm.Start —
+// registration order is the object identity contract in sharded mode, and it
+// must precede any thread that touches the objects.
+type Run struct {
+	p    *Program
+	vars []*core.SharedInt
+	mons []*core.Monitor
+}
+
+// NewRun allocates and registers the program's shared state on vm: variables
+// in rank order first, then monitors in rank order. The identical call on the
+// record and replay VMs yields identical ObjectID assignment (see
+// Program.Object).
+func NewRun(p *Program, vm *core.VM) *Run {
+	r := &Run{p: p}
+	for i := 0; i < p.NumVars; i++ {
+		v := &core.SharedInt{}
+		v.Register(vm)
+		r.vars = append(r.vars, v)
+	}
+	for i := 0; i < p.NumMons; i++ {
+		m := core.NewMonitor()
+		m.Register(vm)
+		r.mons = append(r.mons, m)
+	}
+	return r
+}
+
+// Main returns the main-thread body: channel setup (listen, loopback connect,
+// accept — the connect completes when the connection enters the backlog, so
+// the sequential order cannot deadlock), worker spawns, then joins. Pass it
+// to vm.Start; the atom sequence it executes is exactly Atoms()[0] followed
+// by each worker's Atoms()[w+1].
+func (r *Run) Main(env *djsock.Env) func(*core.Thread) {
+	return func(main *core.Thread) {
+		p := r.p
+		send := make([]*djsock.Socket, len(p.Channels))
+		recv := make([]*djsock.Socket, len(p.Channels))
+		for k, ch := range p.Channels {
+			srv, err := env.Listen(main, ch.Port)
+			if err != nil {
+				panic(fmt.Sprintf("progen: listen chan %d: %v", k, err))
+			}
+			cli, err := env.Connect(main, netsim.Addr{Host: env.Host(), Port: ch.Port})
+			if err != nil {
+				panic(fmt.Sprintf("progen: connect chan %d: %v", k, err))
+			}
+			acc, err := srv.Accept(main)
+			if err != nil {
+				panic(fmt.Sprintf("progen: accept chan %d: %v", k, err))
+			}
+			send[k], recv[k] = cli, acc
+		}
+		workers := make([]*core.Thread, len(p.Workers))
+		for w := range p.Workers {
+			w := w
+			workers[w] = main.Spawn(func(t *core.Thread) {
+				r.worker(t, w, send, recv)
+			})
+		}
+		for _, wt := range workers {
+			main.Join(wt)
+		}
+	}
+}
+
+// worker executes worker w's op list on thread t.
+func (r *Run) worker(t *core.Thread, w int, send, recv []*djsock.Socket) {
+	for _, op := range r.p.Workers[w] {
+		switch op.Kind {
+		case OpAdd:
+			r.vars[op.Var].Add(t, op.Delta)
+		case OpLocked:
+			m := r.mons[op.Mon]
+			m.Enter(t)
+			r.vars[op.Var].Add(t, op.Delta)
+			m.Exit(t)
+		case OpRacy:
+			// Deliberately NOT Add: get and set are two critical events with
+			// a window in between — the paper's racy update (§6).
+			v := r.vars[op.Var]
+			v.Set(t, v.Get(t)+op.Delta)
+		case OpSend:
+			ch := r.p.Channels[op.Chan]
+			if _, err := send[op.Chan].Write(t, []byte{ch.Payload}); err != nil {
+				panic(fmt.Sprintf("progen: send chan %d: %v", op.Chan, err))
+			}
+		case OpRecv:
+			var b [1]byte
+			n, err := recv[op.Chan].Read(t, b[:])
+			if err != nil || n != 1 {
+				panic(fmt.Sprintf("progen: recv chan %d: n=%d err=%v", op.Chan, n, err))
+			}
+			r.vars[r.p.Channels[op.Chan].DepositVar].Add(t, int64(b[0]))
+		}
+	}
+}
+
+// Finals reads the variables' final values. Call only after vm.Wait — Load
+// does not generate critical events and must not race running threads.
+func (r *Run) Finals() []int64 {
+	out := make([]int64, len(r.vars))
+	for i, v := range r.vars {
+		out[i] = v.Load()
+	}
+	return out
+}
